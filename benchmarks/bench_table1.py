@@ -1,0 +1,18 @@
+"""Benchmark E1 — regenerate Table 1 (benchmark graph characteristics)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: run_table1(scale=scale), rounds=1, iterations=1)
+    show_table(rows, "Table 1 — dataset characteristics")
+    assert len(rows) == 6
+    # Regime sanity: road/mesh stand-ins have much larger diameters than the
+    # social stand-ins, mirroring the paper's dataset mix.
+    diameters = {row["dataset"]: row["diameter"] for row in rows}
+    assert diameters["roads-CA-like"] > 4 * diameters["twitter-like"]
+    assert diameters["mesh"] > 4 * diameters["livejournal-like"]
+    for row in rows:
+        assert row["nodes"] > 0 and row["edges"] > 0

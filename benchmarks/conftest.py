@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation section
+(Tables 1-4, Figure 1) or an ablation, using the experiment drivers in
+:mod:`repro.experiments`.  Run them with::
+
+    pytest benchmarks/ --benchmark-only                 # quick (small scale)
+    REPRO_BENCH_SCALE=default pytest benchmarks/ --benchmark-only   # full stand-ins
+
+The rendered tables are printed to stdout (add ``-s`` to see them live) and
+the key qualitative claims of the paper are asserted, so the benchmarks double
+as end-to-end regression checks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def bench_scale() -> str:
+    """Dataset scale for the benchmark run (``small`` unless overridden)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def show_table():
+    """Render and print an experiment table (visible with ``pytest -s``)."""
+    from repro.analysis.tables import render_table
+
+    def _show(rows, title):
+        sys.stdout.write("\n" + render_table(rows, title=title) + "\n")
+        return rows
+
+    return _show

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The canonical workflow is an editable install (``pip install -e .`` or, on
+offline machines without the ``wheel`` package, ``python setup.py develop``),
+but prepending ``src/`` here means ``pytest`` and the benchmark harness work
+straight from a source checkout as well.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

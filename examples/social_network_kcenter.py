@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""k-center facility placement on a road network and a social network.
+
+The metric k-center problem (Section 3.1 of the paper): choose k "service
+centers" among the nodes of a graph so that the farthest node is as close as
+possible to a center — e.g. placing k depots on a road network, or k cache
+servers in a social overlay.  This script places k centers with three methods
+and compares their objective values:
+
+* the CLUSTER-based parallel approximation of the paper (Theorem 2),
+* the sequential Gonzalez 2-approximation (the quality reference), and
+* uniformly random centers (the "no algorithm" control).
+
+Run with::
+
+    python examples/social_network_kcenter.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.baselines import gonzalez_kcenter
+from repro.baselines.gonzalez import random_centers_kcenter
+from repro.core import kcenter
+from repro.generators import barabasi_albert_graph, road_network_graph
+
+
+def run_for_graph(graph, title: str, ks=(10, 25, 100)) -> None:
+    print(f"{title}: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+
+    rows = []
+    for k in ks:
+        ours = kcenter(graph, k, seed=3)
+        greedy = gonzalez_kcenter(graph, k, seed=3)
+        control = random_centers_kcenter(graph, k, seed=3)
+        rows.append(
+            {
+                "k": k,
+                "cluster_radius": ours.radius,
+                "gonzalez_radius": greedy.radius,
+                "random_radius": control.radius,
+                "centers_used": ours.k,
+            }
+        )
+    print(render_table(rows, title=f"{title} — k-center objective (smaller is better)"))
+
+
+def main() -> None:
+    run_for_graph(road_network_graph(70, 70, seed=11), "road network")
+    run_for_graph(barabasi_albert_graph(8000, 6, seed=11), "social network")
+    print(
+        "The CLUSTER-based solution tracks the sequential Gonzalez baseline within a\n"
+        "small factor while being computable in a handful of parallel rounds; random\n"
+        "centers are clearly worse on the long-diameter road network."
+    )
+
+
+if __name__ == "__main__":
+    main()

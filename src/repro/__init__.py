@@ -1,0 +1,83 @@
+"""repro — reproduction of Ceccarello, Pietracaprina, Pucci & Upfal (SPAA 2015).
+
+*Space and Time Efficient Parallel Graph Decomposition, Clustering, and
+Diameter Approximation.*
+
+The package provides:
+
+* the CLUSTER / CLUSTER2 parallel graph decompositions (the paper's primary
+  contribution) and their applications — k-center approximation, diameter
+  approximation, and an approximate distance oracle;
+* every substrate needed to run and evaluate them from scratch: a CSR graph
+  library, synthetic workload generators, a metered MR(M_G, M_L) MapReduce
+  simulation engine, and the baselines (MPX, BFS, HADI/ANF, Gonzalez);
+* an experiment harness regenerating every table and figure of the paper's
+  evaluation section (``python -m repro.experiments``).
+
+Quick start::
+
+    from repro import generators, cluster, estimate_diameter
+
+    graph = generators.mesh_graph(100, 100)
+    decomposition = cluster(graph, tau=32, seed=0)
+    estimate = estimate_diameter(graph, tau=32, seed=0)
+    print(decomposition.num_clusters, estimate.lower_bound, estimate.upper_bound)
+"""
+
+from repro import analysis, baselines, core, generators, graph, mapreduce, sparsify, utils, weighted
+from repro.baselines import (
+    bfs_diameter,
+    gonzalez_kcenter,
+    hadi_diameter,
+    mpx_decomposition,
+    mr_bfs_diameter,
+)
+from repro.core import (
+    Clustering,
+    DiameterEstimate,
+    DistanceOracle,
+    KCenterResult,
+    build_distance_oracle,
+    build_quotient_graph,
+    cluster,
+    cluster2,
+    estimate_diameter,
+    kcenter,
+    mr_estimate_diameter,
+    quotient_diameter,
+)
+from repro.graph import CSRGraph, load_edge_list
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "generators",
+    "graph",
+    "mapreduce",
+    "sparsify",
+    "utils",
+    "weighted",
+    "bfs_diameter",
+    "gonzalez_kcenter",
+    "hadi_diameter",
+    "mpx_decomposition",
+    "mr_bfs_diameter",
+    "Clustering",
+    "DiameterEstimate",
+    "DistanceOracle",
+    "KCenterResult",
+    "build_distance_oracle",
+    "build_quotient_graph",
+    "cluster",
+    "cluster2",
+    "estimate_diameter",
+    "kcenter",
+    "mr_estimate_diameter",
+    "quotient_diameter",
+    "CSRGraph",
+    "load_edge_list",
+    "__version__",
+]

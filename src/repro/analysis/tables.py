@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment driver returns a list of row dicts; this module renders them
+as aligned monospace tables (and optionally CSV) so that the benchmark output
+can be compared side by side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_csv", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly scalar formatting (floats get 2 decimals, None a dash)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` (list of dicts) as an aligned text table."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = [str(c) for c in columns]
+    body = [[format_value(row.get(c)) for c in columns] for row in rows]
+    widths = [len(h) for h in header]
+    for line in body:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    separator = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    out.write(separator + "\n")
+    for line in body:
+        out.write(" | ".join(cell.ljust(w) for cell, w in zip(line, widths)) + "\n")
+    return out.getvalue()
+
+
+def render_csv(rows: Sequence[Dict], *, columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (for piping into plotting tools)."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    out = io.StringIO()
+    out.write(",".join(str(c) for c in columns) + "\n")
+    for row in rows:
+        out.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+    return out.getvalue()

@@ -1,0 +1,84 @@
+"""Gonzalez farthest-point traversal — sequential 2-approximation for k-center.
+
+Gonzalez (1985) and Hochbaum–Shmoys (1985) give 2-approximations for metric
+k-center; the graph variant repeatedly adds the node farthest from the current
+center set (one multi-source BFS per added center).  It is the natural
+sequential quality baseline for the paper's CLUSTER-based k-center
+approximation (Theorem 2): no decomposition-based parallel algorithm can beat
+it on solution quality, so comparing against it bounds the practical
+approximation loss of the parallel algorithm.
+
+A ``random_centers`` baseline is included as the "no algorithm" control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kcenter import KCenterResult, evaluate_centers
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import multi_source_bfs
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["gonzalez_kcenter", "random_centers_kcenter"]
+
+
+def gonzalez_kcenter(
+    graph: CSRGraph, k: int, *, seed: SeedLike = None, first_center: int | None = None
+) -> KCenterResult:
+    """Farthest-point traversal k-center (2-approximation on connected graphs).
+
+    Parameters
+    ----------
+    k:
+        Number of centers (1 ≤ k ≤ n).
+    first_center:
+        Optional explicit first center; defaults to a random node.
+
+    Notes
+    -----
+    Runs ``k`` multi-source BFS traversals, i.e. ``O(k (n + m))`` work and, in
+    a round-synchronous distributed setting, ``Θ(k ∆)`` rounds — which is why
+    the paper needs a decomposition-based approach for the parallel setting.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise ValueError("graph must be non-empty")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= n:
+        return evaluate_centers(graph, np.arange(n, dtype=np.int64), algorithm="gonzalez")
+    rng = as_rng(seed)
+    if first_center is None:
+        first_center = int(rng.integers(0, n))
+    centers = [int(first_center)]
+    distances = multi_source_bfs(graph, centers).distances
+    for _ in range(k - 1):
+        reachable = distances >= 0
+        if not np.any(reachable):
+            break
+        # Farthest reachable node from the current center set; unreachable
+        # nodes (other components) take priority so every component gets a
+        # center as soon as possible.
+        unreachable = np.flatnonzero(~reachable)
+        if unreachable.size:
+            next_center = int(unreachable[0])
+        else:
+            next_center = int(np.argmax(distances))
+        centers.append(next_center)
+        new_dist = multi_source_bfs(graph, [next_center]).distances
+        merge_mask = (distances < 0) | ((new_dist >= 0) & (new_dist < distances))
+        distances = np.where(merge_mask, new_dist, distances)
+    return evaluate_centers(graph, centers, algorithm="gonzalez")
+
+
+def random_centers_kcenter(graph: CSRGraph, k: int, *, seed: SeedLike = None) -> KCenterResult:
+    """Uniformly random centers (control baseline)."""
+    n = graph.num_nodes
+    if n == 0:
+        raise ValueError("graph must be non-empty")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = as_rng(seed)
+    centers = rng.choice(n, size=min(k, n), replace=False)
+    return evaluate_centers(graph, centers, algorithm="random")

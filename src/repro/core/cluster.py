@@ -1,0 +1,179 @@
+"""Algorithm 1 of the paper: CLUSTER(τ).
+
+CLUSTER partitions the node set into disjoint connected clusters by growing
+clusters from *progressive batches* of centers:
+
+* while more than ``8 τ log n`` nodes are uncovered,
+* select every uncovered node as a new center independently with probability
+  ``4 τ log n / |uncovered|``,
+* grow all clusters (new and old) in parallel, disjointly, until at least half
+  of the previously uncovered nodes become covered,
+* finally, promote any leftover uncovered nodes to singleton clusters.
+
+Theorem 1 shows the result has ``O(τ log² n)`` clusters and that the maximum
+radius is within an ``O(log n)`` factor of the best radius achievable with
+``τ`` clusters; Lemma 1 bounds the radius by ``O(⌈∆ / τ^{1/b}⌉ log n)`` for a
+graph with diameter ∆ and doubling dimension b.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.clustering import Clustering, IterationStats
+from repro.core.growth import ClusterGrowth
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, as_rng, random_subset_mask
+
+__all__ = ["cluster", "cluster_with_target_clusters", "selection_probability", "uncovered_threshold"]
+
+
+def _log_n(num_nodes: int) -> float:
+    """``log₂ n`` guarded against degenerate sizes (paper uses base-2 logs)."""
+    return math.log2(max(2, num_nodes))
+
+
+def uncovered_threshold(num_nodes: int, tau: int) -> float:
+    """The ``8 τ log n`` stopping threshold of Algorithm 1's while loop."""
+    return 8.0 * tau * _log_n(num_nodes)
+
+
+def selection_probability(num_nodes: int, tau: int, num_uncovered: int) -> float:
+    """The ``4 τ log n / |V - V'|`` center-selection probability (clamped to 1)."""
+    if num_uncovered <= 0:
+        return 0.0
+    return min(1.0, 4.0 * tau * _log_n(num_nodes) / num_uncovered)
+
+
+def cluster(
+    graph: CSRGraph,
+    tau: int,
+    *,
+    seed: SeedLike = None,
+    max_iterations: Optional[int] = None,
+) -> Clustering:
+    """Run CLUSTER(τ) on ``graph`` and return the resulting decomposition.
+
+    Parameters
+    ----------
+    graph:
+        Unweighted undirected graph.  The graph need not be connected: as
+        observed in §3.2 of the paper, the algorithm remains correct for a
+        graph with ``h`` components as long as τ ≥ h (otherwise some
+        components simply end up covered by the final singleton promotion or
+        by centers that happen to land there).
+    tau:
+        Granularity parameter (τ ≥ 1).  Larger τ ⇒ more clusters, smaller
+        radius.
+    seed:
+        Randomness for center selection.
+    max_iterations:
+        Optional safety cap on outer iterations (defaults to ``4 log n + 8``;
+        the analysis guarantees ``⌈log(n / (8 τ log n))⌉`` iterations).
+
+    Returns
+    -------
+    Clustering
+        Validated decomposition with per-iteration / per-step execution trace.
+    """
+    if tau < 1:
+        raise ValueError(f"tau must be a positive integer, got {tau}")
+    rng = as_rng(seed)
+    n = graph.num_nodes
+    growth = ClusterGrowth(graph)
+    if n == 0:
+        return growth.to_clustering(algorithm="cluster")
+
+    threshold = uncovered_threshold(n, tau)
+    limit = max_iterations if max_iterations is not None else int(4 * _log_n(n)) + 8
+    iteration = 0
+
+    while growth.num_uncovered >= threshold and growth.num_uncovered > 0:
+        if iteration >= limit:
+            break
+        uncovered = growth.uncovered_nodes
+        uncovered_before = int(uncovered.size)
+        probability = selection_probability(n, tau, uncovered_before)
+        mask = random_subset_mask(uncovered_before, probability, rng)
+        selected = uncovered[mask]
+        if selected.size == 0 and growth.num_clusters == 0:
+            # Degenerate (very unlikely) draw with no active clusters: force a
+            # single random center so the process can make progress.
+            selected = rng.choice(uncovered, size=1)
+        growth.mark()
+        accepted = growth.add_centers(selected)
+        target = int(math.ceil(uncovered_before / 2.0))
+        steps = growth.grow_until(target)
+        growth.record_iteration(
+            IterationStats(
+                iteration=iteration,
+                uncovered_before=uncovered_before,
+                new_centers=int(accepted.size),
+                growth_steps=steps,
+                covered_after=growth.num_covered,
+                selection_probability=probability,
+            )
+        )
+        iteration += 1
+
+    growth.cover_remaining_as_singletons()
+    return growth.to_clustering(algorithm="cluster")
+
+
+def cluster_with_target_clusters(
+    graph: CSRGraph,
+    target_clusters: int,
+    *,
+    seed: SeedLike = None,
+    tolerance: float = 0.35,
+    max_trials: int = 12,
+) -> Clustering:
+    """Run CLUSTER with τ tuned so the number of clusters lands near a target.
+
+    Neither CLUSTER nor MPX can fix the number of clusters a priori (it is a
+    random variable); the paper's experiments therefore tune the granularity
+    parameter until the observed number of clusters is "close enough" to the
+    desired decomposition granularity.  This helper performs that tuning with
+    a multiplicative search on τ, mirroring the experimental protocol of §6.1.
+
+    Parameters
+    ----------
+    target_clusters:
+        Desired number of clusters (e.g. ``n / 1000`` for small-diameter
+        graphs in Table 2).
+    tolerance:
+        Accept a clustering whose cluster count is within
+        ``(1 ± tolerance) * target_clusters``.
+    max_trials:
+        Maximum number of CLUSTER invocations before returning the closest
+        attempt seen.
+    """
+    if target_clusters < 1:
+        raise ValueError("target_clusters must be >= 1")
+    n = graph.num_nodes
+    if n == 0:
+        raise ValueError("graph must be non-empty")
+    rng = as_rng(seed)
+    log_sq = _log_n(n) ** 2
+    # Theorem 1: #clusters = O(τ log² n); start from the inversion and adjust.
+    tau = max(1, int(round(target_clusters / max(1.0, 0.25 * log_sq))))
+    best: Optional[Clustering] = None
+    best_gap = float("inf")
+    for _ in range(max_trials):
+        result = cluster(graph, tau, seed=rng)
+        count = result.num_clusters
+        gap = abs(count - target_clusters) / target_clusters
+        if gap < best_gap:
+            best, best_gap = result, gap
+        if (1 - tolerance) * target_clusters <= count <= (1 + tolerance) * target_clusters:
+            return result
+        ratio = target_clusters / max(1, count)
+        # Dampened multiplicative update; τ moves in the direction of the miss.
+        tau = max(1, int(round(tau * min(4.0, max(0.25, ratio)))))
+        if tau >= n:
+            tau = n // 2 or 1
+    assert best is not None
+    return best

@@ -1,0 +1,211 @@
+"""Clustering result objects shared by CLUSTER, CLUSTER2, MPX and k-center.
+
+A :class:`Clustering` is a partition of the node set into disjoint,
+internally-connected clusters, each with a designated center, together with
+the per-node growth distance (the number of growing steps after which the
+node was covered — an upper bound on, and in the growth forest equal to, the
+distance from the node to its center).  It also carries the execution trace
+(per-iteration and per-growing-step statistics) needed by the MR-round
+accounting of :mod:`repro.core.mr_algorithms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import multi_source_bfs
+
+__all__ = ["Clustering", "IterationStats", "GrowthStepStats"]
+
+
+@dataclass(frozen=True)
+class GrowthStepStats:
+    """Statistics of a single parallel cluster-growing step.
+
+    Attributes
+    ----------
+    frontier_size:
+        Number of frontier nodes expanded in this step.
+    arcs_scanned:
+        Number of adjacency-list entries examined (the communication volume
+        of the corresponding MR round).
+    newly_covered:
+        Number of previously uncovered nodes covered by this step.
+    """
+
+    frontier_size: int
+    arcs_scanned: int
+    newly_covered: int
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Statistics of one iteration of the outer loop of CLUSTER / CLUSTER2."""
+
+    iteration: int
+    uncovered_before: int
+    new_centers: int
+    growth_steps: int
+    covered_after: int
+    selection_probability: float
+
+
+@dataclass
+class Clustering:
+    """A disjoint decomposition of a graph into connected clusters.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes of the underlying graph.
+    assignment:
+        int64 array mapping every node to its cluster id in ``0..k-1``.
+    centers:
+        int64 array of length ``k``; ``centers[c]`` is the center node of
+        cluster ``c``.
+    distance:
+        int64 array; growth distance of every node from its cluster center
+        (0 for centers).
+    growth_steps:
+        Total number of parallel growing steps performed (the quantity ``R``
+        of Lemma 3 which drives the MR round complexity).
+    iterations:
+        Per-outer-iteration statistics.
+    step_log:
+        Per-growing-step statistics, in execution order.
+    algorithm:
+        Human-readable name of the producing algorithm.
+    """
+
+    num_nodes: int
+    assignment: np.ndarray
+    centers: np.ndarray
+    distance: np.ndarray
+    growth_steps: int = 0
+    iterations: List[IterationStats] = field(default_factory=list)
+    step_log: List[GrowthStepStats] = field(default_factory=list)
+    algorithm: str = "cluster"
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters ``k``."""
+        return int(self.centers.size)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Array of cluster sizes (indexed by cluster id)."""
+        return np.bincount(self.assignment, minlength=self.num_clusters).astype(np.int64)
+
+    def radii(self) -> np.ndarray:
+        """Growth radius of every cluster (max growth distance of its members)."""
+        radii = np.zeros(self.num_clusters, dtype=np.int64)
+        np.maximum.at(radii, self.assignment, self.distance)
+        return radii
+
+    @property
+    def max_radius(self) -> int:
+        """Maximum cluster radius ``R_ALG`` (growth-based, as tracked by the algorithm)."""
+        return int(self.distance.max()) if self.distance.size else 0
+
+    def members(self, cluster_id: int) -> np.ndarray:
+        """Node ids belonging to ``cluster_id``."""
+        if not (0 <= cluster_id < self.num_clusters):
+            raise IndexError(f"cluster {cluster_id} out of range")
+        return np.flatnonzero(self.assignment == cluster_id)
+
+    def exact_radii(self, graph: CSRGraph) -> np.ndarray:
+        """Exact cluster radii: true graph distance from each node to its center.
+
+        The growth distance can overestimate the true distance when a shorter
+        path to the center runs through another cluster's territory; this
+        recomputes radii with a multi-source BFS from all centers over the
+        whole graph restricted to same-cluster assignments.
+        """
+        result = multi_source_bfs(graph, list(self.centers))
+        # Distance from the *nearest* center lower-bounds the distance from
+        # the own center; to get the exact own-center distance we BFS per
+        # cluster within the induced subgraph.
+        radii = np.zeros(self.num_clusters, dtype=np.int64)
+        for cid in range(self.num_clusters):
+            nodes = self.members(cid)
+            sub, mapping = graph.subgraph(nodes)
+            center_local = int(np.searchsorted(mapping, self.centers[cid]))
+            dist = multi_source_bfs(sub, [center_local]).distances
+            radii[cid] = int(dist.max()) if dist.size else 0
+        _ = result  # nearest-center distances are not needed beyond documentation
+        return radii
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self, graph: Optional[CSRGraph] = None) -> None:
+        """Check the structural invariants of the decomposition.
+
+        Raises ``AssertionError`` describing the first violated invariant.
+        The graph is required for the connectivity / distance-consistency
+        checks; without it only the partition invariants are verified.
+        """
+        assert self.assignment.shape == (self.num_nodes,), "assignment has wrong shape"
+        assert self.distance.shape == (self.num_nodes,), "distance has wrong shape"
+        if self.num_nodes == 0:
+            return
+        assert self.assignment.min() >= 0, "every node must be assigned to a cluster"
+        assert self.assignment.max() < self.num_clusters, "assignment references unknown cluster"
+        used = np.unique(self.assignment)
+        assert used.size == self.num_clusters, "every cluster must be non-empty"
+        assert np.all(self.assignment[self.centers] == np.arange(self.num_clusters)), (
+            "each center must belong to its own cluster"
+        )
+        assert np.all(self.distance[self.centers] == 0), "centers must have distance 0"
+        assert np.all(self.distance >= 0), "distances must be non-negative"
+        if graph is not None:
+            assert graph.num_nodes == self.num_nodes, "graph/clustering size mismatch"
+            self._validate_growth_consistency(graph)
+
+    def _validate_growth_consistency(self, graph: CSRGraph) -> None:
+        """Every non-center node must have a same-cluster neighbour one step closer."""
+        nodes = np.flatnonzero(self.distance > 0)
+        if nodes.size == 0:
+            return
+        src, dst = graph.neighbor_blocks(nodes)
+        same_cluster = self.assignment[src] == self.assignment[dst]
+        closer = self.distance[dst] == self.distance[src] - 1
+        good = np.zeros(self.num_nodes, dtype=bool)
+        satisfied = src[same_cluster & closer]
+        good[satisfied] = True
+        missing = nodes[~good[nodes]]
+        assert missing.size == 0, (
+            f"{missing.size} nodes (e.g. {missing[:5].tolist()}) lack a same-cluster "
+            "parent one growth step closer to the center"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def singleton_clustering(cls, num_nodes: int) -> "Clustering":
+        """Degenerate clustering where every node is its own center."""
+        ids = np.arange(num_nodes, dtype=np.int64)
+        return cls(
+            num_nodes=num_nodes,
+            assignment=ids.copy(),
+            centers=ids.copy(),
+            distance=np.zeros(num_nodes, dtype=np.int64),
+            algorithm="singletons",
+        )
+
+    def summary(self) -> dict:
+        """Compact dict used by the experiment tables."""
+        sizes = self.cluster_sizes()
+        return {
+            "algorithm": self.algorithm,
+            "num_clusters": self.num_clusters,
+            "max_radius": self.max_radius,
+            "growth_steps": self.growth_steps,
+            "largest_cluster": int(sizes.max()) if sizes.size else 0,
+            "mean_cluster_size": float(sizes.mean()) if sizes.size else 0.0,
+        }

@@ -1,0 +1,181 @@
+"""Decomposition-based diameter approximation (Section 4 of the paper).
+
+The estimator:
+
+1. decompose the graph with CLUSTER(τ) (the "simplified version" used in the
+   paper's experiments) or CLUSTER2(τ) (the variant with the full theoretical
+   guarantees),
+2. build the quotient graph of the decomposition,
+3. compute the quotient diameter, and
+4. report
+
+   * ``∆_C`` — the unweighted quotient diameter, a **lower bound** on ∆,
+   * ``∆'  = 2·R·(∆_C + 1) + ∆_C`` — the unweighted **upper bound**,
+   * ``∆'' = 2·R + ∆'_C`` — the tighter upper bound from the weighted
+     quotient graph (this is the number reported in Tables 3 and 4).
+
+Corollary 1 guarantees ``∆_C ≤ ∆ ≤ ∆' = O(∆ log³ n)`` with high probability
+when CLUSTER2 is used; the experiments show the weighted bound is below
+``2∆`` in practice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cluster import cluster, cluster_with_target_clusters
+from repro.core.cluster2 import cluster2
+from repro.core.clustering import Clustering
+from repro.core.quotient import QuotientGraph, build_quotient_graph, quotient_diameter
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["DiameterEstimate", "estimate_diameter", "diameter_upper_bounds", "default_tau"]
+
+
+@dataclass(frozen=True)
+class DiameterEstimate:
+    """Result of the decomposition-based diameter estimation.
+
+    Attributes
+    ----------
+    lower_bound:
+        ``∆_C`` — unweighted quotient diameter (a true lower bound on ∆).
+    upper_bound:
+        The estimate reported by the algorithm: the weighted bound ``∆''``
+        when the weighted quotient was computed, otherwise ``∆'``.
+    upper_bound_unweighted:
+        ``∆' = 2·R·(∆_C + 1) + ∆_C``.
+    upper_bound_weighted:
+        ``∆'' = 2·R + ∆'_C`` or ``None`` when ``weighted=False``.
+    radius:
+        Maximum cluster radius ``R`` of the decomposition used.
+    num_clusters / num_quotient_edges:
+        Size of the quotient graph (the ``n_C`` / ``m_C`` columns of Table 3).
+    clustering:
+        The decomposition itself (for further inspection).
+    """
+
+    lower_bound: int
+    upper_bound: float
+    upper_bound_unweighted: int
+    upper_bound_weighted: Optional[float]
+    radius: int
+    num_clusters: int
+    num_quotient_edges: int
+    clustering: Clustering
+
+    def contains(self, true_diameter: int) -> bool:
+        """True if ``lower_bound <= true_diameter <= upper_bound``."""
+        return self.lower_bound <= true_diameter <= self.upper_bound
+
+    def approximation_ratio(self, true_diameter: int) -> float:
+        """``upper_bound / true_diameter`` (∞ for a zero diameter)."""
+        if true_diameter == 0:
+            return math.inf
+        return float(self.upper_bound) / float(true_diameter)
+
+
+def default_tau(graph: CSRGraph, *, local_memory: Optional[int] = None) -> int:
+    """Pick τ so the quotient graph fits in a single reducer (Theorem 4).
+
+    Theorem 4 sets ``τ = Θ(n^{ε'} / log⁴ n)`` so that the quotient graph has
+    ``O(n^{ε'})`` nodes and can be processed by one reducer with
+    ``M_L = Θ(n^ε)`` local memory.  With an explicit ``local_memory`` budget
+    we simply aim for ``≈ sqrt(local_memory)`` quotient nodes; otherwise we
+    default to ``≈ sqrt(n)`` clusters.
+    """
+    n = graph.num_nodes
+    if n <= 2:
+        return 1
+    if local_memory is not None:
+        target_nodes = max(2.0, math.sqrt(local_memory))
+    else:
+        target_nodes = math.sqrt(n)
+    log_sq = math.log2(max(2, n)) ** 2
+    return max(1, int(round(target_nodes / max(1.0, 0.25 * log_sq))))
+
+
+def diameter_upper_bounds(
+    lower_bound: float, radius: int, weighted_quotient_diameter: Optional[float]
+) -> tuple:
+    """Compute (∆', ∆'') from the quotient diameters and the cluster radius."""
+    unweighted_upper = int(2 * radius * (int(lower_bound) + 1) + int(lower_bound))
+    weighted_upper = None
+    if weighted_quotient_diameter is not None:
+        weighted_upper = float(2 * radius + weighted_quotient_diameter)
+    return unweighted_upper, weighted_upper
+
+
+def estimate_diameter(
+    graph: CSRGraph,
+    *,
+    tau: Optional[int] = None,
+    target_clusters: Optional[int] = None,
+    seed: SeedLike = None,
+    use_cluster2: bool = False,
+    weighted: bool = True,
+    clustering: Optional[Clustering] = None,
+) -> DiameterEstimate:
+    """Estimate the diameter of a connected graph via graph decomposition.
+
+    Parameters
+    ----------
+    graph:
+        Connected, unweighted, undirected graph.
+    tau:
+        Granularity parameter.  Exactly one of ``tau`` / ``target_clusters`` /
+        ``clustering`` may be provided; with none, :func:`default_tau` is used.
+    target_clusters:
+        Ask for a decomposition with approximately this many clusters instead
+        of fixing τ (matches the experimental protocol of §6.2).
+    use_cluster2:
+        Use CLUSTER2 (full theoretical guarantees) instead of the simplified
+        CLUSTER pipeline used in the paper's experiments.
+    weighted:
+        Also compute the weighted quotient graph and the tighter ``∆''`` bound.
+    clustering:
+        Reuse an existing decomposition instead of computing one.
+
+    Returns
+    -------
+    DiameterEstimate
+    """
+    provided = sum(x is not None for x in (tau, target_clusters, clustering))
+    if provided > 1:
+        raise ValueError("provide at most one of tau, target_clusters, clustering")
+    rng = as_rng(seed)
+
+    if clustering is None:
+        if target_clusters is not None:
+            clustering = cluster_with_target_clusters(graph, target_clusters, seed=rng)
+        else:
+            chosen_tau = tau if tau is not None else default_tau(graph)
+            if use_cluster2:
+                clustering = cluster2(graph, chosen_tau, seed=rng).clustering
+            else:
+                clustering = cluster(graph, chosen_tau, seed=rng)
+
+    radius = clustering.max_radius
+    unweighted_quotient = build_quotient_graph(graph, clustering, weighted=False)
+    lower = quotient_diameter(unweighted_quotient)
+    weighted_diam: Optional[float] = None
+    num_quotient_edges = unweighted_quotient.num_edges
+    if weighted:
+        weighted_quotient = build_quotient_graph(graph, clustering, weighted=True)
+        weighted_diam = quotient_diameter(weighted_quotient)
+        num_quotient_edges = weighted_quotient.num_edges
+    unweighted_upper, weighted_upper = diameter_upper_bounds(lower, radius, weighted_diam)
+    upper = weighted_upper if weighted_upper is not None else float(unweighted_upper)
+    return DiameterEstimate(
+        lower_bound=int(lower),
+        upper_bound=upper,
+        upper_bound_unweighted=unweighted_upper,
+        upper_bound_weighted=weighted_upper,
+        radius=radius,
+        num_clusters=clustering.num_clusters,
+        num_quotient_edges=num_quotient_edges,
+        clustering=clustering,
+    )

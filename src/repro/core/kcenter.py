@@ -1,0 +1,221 @@
+"""Graph k-center approximation via CLUSTER (Section 3.1 / 3.2 of the paper).
+
+The (unit-weight, graph-metric) k-center problem asks for a set ``M`` of ``k``
+nodes minimizing ``max_v dist(v, M)``.  The paper's algorithm:
+
+1. run CLUSTER(τ) with ``τ = Θ(k / log² n)`` so that, with high probability,
+   at most ``k`` clusters are returned (Theorem 2);
+2. if the decomposition still has more than ``k`` clusters (or, for
+   disconnected graphs with ``h ≤ k = o(h log² n)`` components, when running
+   CLUSTER(h)), merge clusters along a spanning forest of the quotient graph
+   into ``k`` groups, exactly as in the proof of Theorem 2;
+3. the returned centers are the cluster centers (one representative per
+   merged group); the objective value is evaluated by a multi-source BFS from
+   the centers.
+
+Theorem 2: the result is an ``O(log³ n)``-approximation with high
+probability (for ``k = Ω(log² n)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.cluster import cluster
+from repro.core.clustering import Clustering
+from repro.core.quotient import build_quotient_graph
+from repro.graph.components import num_connected_components
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import multi_source_bfs
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["KCenterResult", "kcenter", "evaluate_centers", "merge_clusters_to_k"]
+
+
+@dataclass(frozen=True)
+class KCenterResult:
+    """A k-center solution.
+
+    Attributes
+    ----------
+    centers:
+        int64 array of at most ``k`` center node ids.
+    assignment:
+        int64 array assigning every node to the index (into ``centers``) of
+        its nearest center.
+    distance:
+        int64 array of distances to the assigned (nearest) center.
+    radius:
+        The objective value ``max_v dist(v, centers)``.
+    algorithm:
+        Producing algorithm ("cluster", "gonzalez", "random", ...).
+    """
+
+    centers: np.ndarray
+    assignment: np.ndarray
+    distance: np.ndarray
+    radius: int
+    algorithm: str = "cluster"
+
+    @property
+    def k(self) -> int:
+        return int(self.centers.size)
+
+
+def evaluate_centers(graph: CSRGraph, centers: "np.ndarray | List[int]", algorithm: str = "custom") -> KCenterResult:
+    """Evaluate an arbitrary center set: nearest-center assignment and radius.
+
+    Unreachable nodes (disconnected graphs whose component contains no center)
+    make the radius infinite, reported as ``graph.num_nodes`` (a value larger
+    than any finite eccentricity) to keep the arithmetic integral.
+    """
+    center_array = np.unique(np.asarray(list(centers), dtype=np.int64))
+    if center_array.size == 0:
+        raise ValueError("at least one center is required")
+    result = multi_source_bfs(graph, list(center_array))
+    distances = result.distances.copy()
+    unreachable = distances < 0
+    radius = int(distances[~unreachable].max()) if np.any(~unreachable) else 0
+    if np.any(unreachable):
+        radius = graph.num_nodes
+        distances[unreachable] = graph.num_nodes
+    # Map owner node ids to indices into the center array.
+    owner = result.sources.copy()
+    owner[unreachable] = center_array[0]
+    assignment = np.searchsorted(center_array, owner)
+    return KCenterResult(
+        centers=center_array,
+        assignment=assignment.astype(np.int64),
+        distance=distances,
+        radius=radius,
+        algorithm=algorithm,
+    )
+
+
+def merge_clusters_to_k(
+    graph: CSRGraph, clustering: Clustering, k: int, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Merge the clusters of ``clustering`` into at most ``k`` groups.
+
+    Implements the spanning-tree merging argument in the proof of Theorem 2:
+    build a spanning forest of the quotient graph, then cut it into at most
+    ``k`` connected subtrees of balanced size (post-order accumulation), and
+    return one representative center per subtree.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    w = clustering.num_clusters
+    if w <= k:
+        return clustering.centers.copy()
+    quotient = build_quotient_graph(graph, clustering, weighted=False)
+    parent = np.full(w, -1, dtype=np.int64)
+    order: List[int] = []
+    visited = np.zeros(w, dtype=bool)
+    # BFS spanning forest of the quotient graph (handles disconnected quotients).
+    for root in range(w):
+        if visited[root]:
+            continue
+        visited[root] = True
+        queue = [root]
+        while queue:
+            u = queue.pop()
+            order.append(u)
+            for v in quotient.graph.neighbors(u):
+                vi = int(v)
+                if not visited[vi]:
+                    visited[vi] = True
+                    parent[vi] = u
+                    queue.append(vi)
+    # Cut the forest into groups of at most ceil(w / k) clusters via post-order
+    # accumulation: children are merged into their parent until the budget is
+    # reached, at which point the subtree is "cut off" as one group.
+    budget = math.ceil(w / k)
+    group = -np.ones(w, dtype=np.int64)
+    subtree_size = np.ones(w, dtype=np.int64)
+    next_group = 0
+    for u in reversed(order):
+        if subtree_size[u] >= budget or parent[u] < 0:
+            group[u] = next_group
+            next_group += 1
+        else:
+            subtree_size[parent[u]] += subtree_size[u]
+    # Propagate group labels down the tree (nodes not cut inherit their parent's group).
+    for u in order:
+        if group[u] < 0:
+            group[u] = group[parent[u]]
+    representatives = []
+    represented_clusters = set()
+    seen = set()
+    for u in order:
+        g = int(group[u])
+        if g not in seen:
+            seen.add(g)
+            representatives.append(int(clustering.centers[u]))
+            represented_clusters.add(u)
+    reps = np.asarray(representatives, dtype=np.int64)
+    if reps.size > k:
+        rng = as_rng(seed)
+        reps = rng.choice(reps, size=k, replace=False)
+    elif reps.size < k:
+        # Star-shaped quotient trees can collapse into fewer than k groups
+        # (every leaf subtree stays below the budget).  Spend the remaining
+        # center budget on the centers of the largest unrepresented clusters —
+        # extra centers can only improve the k-center objective.
+        sizes = clustering.cluster_sizes()
+        unused = [c for c in np.argsort(sizes)[::-1] if c not in represented_clusters]
+        extra = [int(clustering.centers[c]) for c in unused[: k - reps.size]]
+        reps = np.concatenate([reps, np.asarray(extra, dtype=np.int64)])
+    return np.unique(reps)
+
+
+def kcenter(
+    graph: CSRGraph,
+    k: int,
+    *,
+    seed: SeedLike = None,
+    tau: Optional[int] = None,
+) -> KCenterResult:
+    """Approximate graph k-center via CLUSTER (Theorem 2 / Section 3.2).
+
+    Parameters
+    ----------
+    graph:
+        Unweighted undirected graph (need not be connected; ``k`` must be at
+        least the number of connected components for a finite radius).
+    k:
+        Number of centers.
+    tau:
+        Override the granularity parameter; defaults to
+        ``max(1, round(k / log² n))`` for connected-ish cases and to the
+        number of components ``h`` when ``k < h log² n`` (the §3.2 recipe).
+
+    Returns
+    -------
+    KCenterResult
+        The solution with at most ``k`` centers; its ``radius`` is the
+        evaluated objective value.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = graph.num_nodes
+    if n == 0:
+        raise ValueError("graph must be non-empty")
+    rng = as_rng(seed)
+    if k >= n:
+        return evaluate_centers(graph, np.arange(n, dtype=np.int64), algorithm="cluster")
+
+    log_sq = math.log2(max(2, n)) ** 2
+    if tau is None:
+        h = num_connected_components(graph)
+        if h > 1 and k < h * log_sq:
+            # §3.2: run CLUSTER(h) and merge the O(h log² n) clusters down to k.
+            tau = max(1, h)
+        else:
+            tau = max(1, int(round(k / log_sq)))
+    clustering = cluster(graph, tau, seed=rng)
+    centers = merge_clusters_to_k(graph, clustering, k, seed=rng)
+    return evaluate_centers(graph, centers, algorithm="cluster")

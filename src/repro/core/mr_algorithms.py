@@ -1,0 +1,185 @@
+"""MR-model drivers for the decomposition-based algorithms (Section 5).
+
+The in-memory implementations in :mod:`repro.core.cluster` /
+:mod:`repro.core.diameter` record a complete execution trace (one entry per
+parallel growing step, one per outer iteration).  The drivers in this module
+replay that trace against the MR(M_G, M_L) accounting of
+:mod:`repro.mapreduce`, charging
+
+* one round per cluster-growing step (Lemma 3: a growing step is a constant
+  number of sort / prefix-sum operations, i.e. ``O(1)`` rounds when
+  ``M_L = Ω(n^ε)``), with a communication volume equal to the adjacency
+  entries scanned by that step,
+* one round per outer iteration for the center-selection / coverage-count
+  bookkeeping, with communication proportional to the uncovered set,
+* ``O(log_{M_L} m)`` rounds to build the quotient graph (a sort of the edge
+  multiset by cluster pair), and
+* a single round with a single reducer to compute the quotient diameter
+  (Theorem 4's small-quotient regime), after checking that the quotient graph
+  actually fits in the local memory ``M_L``.
+
+This is what turns the paper's Table 4 / Figure 1 "time" columns into
+measurable quantities on a single machine: rounds, shuffled pairs, and the
+simulated time of :class:`repro.mapreduce.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.clustering import Clustering
+from repro.core.diameter import DiameterEstimate, estimate_diameter
+from repro.graph.csr import CSRGraph
+from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
+from repro.mapreduce.engine import MREngine
+from repro.mapreduce.metrics import MRMetrics
+from repro.mapreduce.model import MRModel, rounds_for_primitive
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "MRExecutionReport",
+    "charge_clustering_rounds",
+    "charge_quotient_rounds",
+    "mr_estimate_diameter",
+    "mr_cluster_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class MRExecutionReport:
+    """Outcome of an algorithm executed under MR accounting.
+
+    Attributes
+    ----------
+    estimate:
+        The diameter estimate (``None`` for pure decomposition runs).
+    clustering:
+        The decomposition produced.
+    metrics:
+        Round / communication counters.
+    simulated_time:
+        Seconds under the configured :class:`CostModel`.
+    """
+
+    estimate: Optional[DiameterEstimate]
+    clustering: Clustering
+    metrics: MRMetrics
+    simulated_time: float
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    @property
+    def shuffled_pairs(self) -> int:
+        return self.metrics.shuffled_pairs
+
+
+def charge_clustering_rounds(engine: MREngine, clustering: Clustering) -> None:
+    """Replay a clustering execution trace as MR rounds on ``engine``."""
+    ml = engine.model.local_memory
+    primitive_rounds = rounds_for_primitive(
+        max(1, 2 * clustering.num_nodes), ml
+    )
+    # Outer iterations: center selection + coverage counting (a prefix sum).
+    for iteration in clustering.iterations:
+        engine.charge_rounds(
+            primitive_rounds,
+            pairs_per_round=iteration.uncovered_before,
+            label="center-selection",
+        )
+    # Growing steps: one (constant number of) round(s) each; communication is
+    # the adjacency volume actually scanned by the step.
+    for step in clustering.step_log:
+        engine.charge_rounds(
+            1,
+            pairs_per_round=step.arcs_scanned + step.frontier_size,
+            label="growing-step",
+        )
+
+
+def charge_quotient_rounds(
+    engine: MREngine,
+    graph: CSRGraph,
+    *,
+    num_quotient_edges: int,
+    enforce_local_memory: bool = True,
+) -> None:
+    """Charge the rounds for building the quotient graph and computing its diameter."""
+    ml = engine.model.local_memory
+    # Building the quotient graph: a sort of the 2m arcs by cluster pair.
+    engine.charge_rounds(
+        rounds_for_primitive(max(1, graph.num_directed_edges), ml),
+        pairs_per_round=graph.num_directed_edges,
+        label="quotient-build",
+    )
+    # Quotient diameter on a single reducer: the quotient graph (2 * m_C arcs)
+    # must fit in local memory; this is the Theorem 4 requirement.
+    quotient_arcs = 2 * num_quotient_edges
+    if enforce_local_memory and ml is not None and quotient_arcs > ml:
+        engine.model.check_round(max_reducer_input=quotient_arcs, live_pairs=quotient_arcs)
+    engine.charge_rounds(1, pairs_per_round=quotient_arcs, label="quotient-diameter")
+
+
+def mr_cluster_decomposition(
+    graph: CSRGraph,
+    tau: int,
+    *,
+    seed: SeedLike = None,
+    model: Optional[MRModel] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> MRExecutionReport:
+    """Run CLUSTER(τ) and account for its execution in the MR model."""
+    from repro.core.cluster import cluster
+
+    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    clustering = cluster(graph, tau, seed=seed)
+    charge_clustering_rounds(engine, clustering)
+    return MRExecutionReport(
+        estimate=None,
+        clustering=clustering,
+        metrics=engine.metrics,
+        simulated_time=cost_model.simulated_time(engine.metrics),
+    )
+
+
+def mr_estimate_diameter(
+    graph: CSRGraph,
+    *,
+    tau: Optional[int] = None,
+    target_clusters: Optional[int] = None,
+    seed: SeedLike = None,
+    model: Optional[MRModel] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    use_cluster2: bool = False,
+    enforce_local_memory: bool = False,
+) -> MRExecutionReport:
+    """Full decomposition-based diameter estimation under MR accounting.
+
+    This is the driver behind the CLUSTER columns of the Table 4 and Figure 1
+    reproductions: the returned report carries both the diameter estimate and
+    the rounds / communication / simulated-time metrics.
+    """
+    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    estimate = estimate_diameter(
+        graph,
+        tau=tau,
+        target_clusters=target_clusters,
+        seed=seed,
+        use_cluster2=use_cluster2,
+        weighted=True,
+    )
+    charge_clustering_rounds(engine, estimate.clustering)
+    charge_quotient_rounds(
+        engine,
+        graph,
+        num_quotient_edges=estimate.num_quotient_edges,
+        enforce_local_memory=enforce_local_memory,
+    )
+    return MRExecutionReport(
+        estimate=estimate,
+        clustering=estimate.clustering,
+        metrics=engine.metrics,
+        simulated_time=cost_model.simulated_time(engine.metrics),
+    )

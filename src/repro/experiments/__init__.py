@@ -1,0 +1,21 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+from repro.experiments.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    reference_diameter,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "granularity_for",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "reference_diameter",
+]

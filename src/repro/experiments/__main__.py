@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — regenerate the paper's tables and figures."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

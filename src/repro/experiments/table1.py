@@ -1,0 +1,42 @@
+"""Experiment E1 — Table 1: characteristics of the benchmark graphs.
+
+For every dataset stand-in we report the number of nodes, edges and the
+reference diameter, side by side with the corresponding row of the paper's
+Table 1 (the absolute sizes differ by design — see DESIGN.md — but the
+regimes match: small-diameter social graphs vs. long-diameter road/mesh
+graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.datasets import DATASETS, dataset_names, load_dataset, reference_diameter
+
+__all__ = ["run_table1"]
+
+
+def run_table1(
+    *, scale: str = "default", config: ExperimentConfig = DEFAULT_CONFIG
+) -> List[Dict]:
+    """Compute the Table 1 rows; returns a list of row dicts."""
+    rows: List[Dict] = []
+    for name in dataset_names():
+        spec = DATASETS[name]
+        graph = load_dataset(name, scale)
+        diameter = reference_diameter(name, scale)
+        paper_nodes, paper_edges, paper_diameter = spec.paper_row
+        rows.append(
+            {
+                "dataset": name,
+                "regime": spec.regime,
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "diameter": diameter,
+                "paper_nodes": paper_nodes,
+                "paper_edges": paper_edges,
+                "paper_diameter": paper_diameter,
+            }
+        )
+    return rows

@@ -1,0 +1,96 @@
+"""Composite graphs used by the paper's examples and experiments.
+
+* :func:`expander_with_path` — the Section 3 example: a constant-degree
+  expander on ``n - sqrt(n)`` nodes attached to a path of ``sqrt(n)`` nodes,
+  where CLUSTER(τ = sqrt(n)) achieves polylogarithmic radius even though the
+  diameter is ``Ω(sqrt(n))``.
+* :func:`with_tail` / :func:`tail_family` — the Figure 1 experiment: a base
+  graph with a chain of ``c * diameter`` extra nodes appended to a random
+  node, for ``c = 1, 2, 4, 6, 8, 10``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.builders import add_path, connect_graphs
+from repro.graph.csr import CSRGraph
+from repro.generators.mesh import path_graph
+from repro.generators.random_graphs import random_regular_graph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["expander_with_path", "with_tail", "tail_family"]
+
+
+def expander_with_path(
+    num_nodes: int,
+    *,
+    degree: int = 4,
+    path_length: Optional[int] = None,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Constant-degree expander with an attached path (paper §3 example).
+
+    Parameters
+    ----------
+    num_nodes:
+        Total number of nodes; the expander gets ``num_nodes - path_length``.
+    degree:
+        Expander degree (random regular graph).
+    path_length:
+        Length of the attached path; defaults to ``floor(sqrt(num_nodes))``.
+    """
+    if num_nodes < 8:
+        raise ValueError("num_nodes must be at least 8")
+    if path_length is None:
+        path_length = int(np.floor(np.sqrt(num_nodes)))
+    expander_size = num_nodes - path_length
+    if expander_size < degree + 1:
+        raise ValueError("path_length too large for the requested num_nodes")
+    if (expander_size * degree) % 2 == 1:
+        expander_size -= 1
+        path_length += 1
+    rng = as_rng(seed)
+    expander = random_regular_graph(expander_size, degree, seed=rng)
+    path = path_graph(path_length)
+    attach_at = int(rng.integers(0, expander_size))
+    return connect_graphs(expander, path, bridges=[(attach_at, 0)])
+
+
+def with_tail(
+    base: CSRGraph,
+    tail_length: int,
+    *,
+    seed: SeedLike = None,
+    attach_to: Optional[int] = None,
+) -> CSRGraph:
+    """Append a chain of ``tail_length`` nodes to a (random) node of ``base``."""
+    if base.num_nodes == 0:
+        raise ValueError("base graph must be non-empty")
+    if attach_to is None:
+        rng = as_rng(seed)
+        attach_to = int(rng.integers(0, base.num_nodes))
+    return add_path(base, tail_length, attach_to)
+
+
+def tail_family(
+    base: CSRGraph,
+    base_diameter: int,
+    multipliers: Sequence[int] = (0, 1, 2, 4, 6, 8, 10),
+    *,
+    seed: SeedLike = None,
+) -> Dict[int, CSRGraph]:
+    """Family of tail-appended variants of ``base`` (Figure 1 workload).
+
+    Returns ``{c: graph_with_tail_of_c_times_diameter_nodes}``.  All variants
+    attach the tail to the same node so that only the tail length varies.
+    """
+    rng = as_rng(seed)
+    attach_to = int(rng.integers(0, base.num_nodes))
+    family: Dict[int, CSRGraph] = {}
+    for c in multipliers:
+        length = int(c) * int(base_diameter)
+        family[int(c)] = base if length == 0 else add_path(base, length, attach_to)
+    return family

@@ -1,0 +1,61 @@
+"""Mesh and torus generators.
+
+The paper's benchmark set includes a synthetic ``1000 x 1000`` mesh because
+its doubling dimension is known and constant (b = 2), making it a graph on
+which the algorithms are provably effective.  We expose the same family at
+arbitrary (laptop-scale) sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["mesh_graph", "torus_graph", "path_graph", "cycle_graph"]
+
+
+def mesh_graph(rows: int, cols: int) -> CSRGraph:
+    """4-connected ``rows x cols`` grid graph.
+
+    Node ``(i, j)`` has id ``i * cols + j``.  The diameter of the mesh is
+    ``(rows - 1) + (cols - 1)`` and its doubling dimension is 2.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horizontal = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vertical = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    edges = np.concatenate([horizontal, vertical], axis=0)
+    return CSRGraph.from_edges(edges, num_nodes=rows * cols)
+
+
+def torus_graph(rows: int, cols: int) -> CSRGraph:
+    """``rows x cols`` grid with wrap-around edges (4-regular when sizes > 2)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.stack([ids.ravel(), np.roll(ids, -1, axis=1).ravel()], axis=1)
+    down = np.stack([ids.ravel(), np.roll(ids, -1, axis=0).ravel()], axis=1)
+    edges = np.concatenate([right, down], axis=0)
+    return CSRGraph.from_edges(edges, num_nodes=rows * cols)
+
+
+def path_graph(length: int) -> CSRGraph:
+    """Simple path on ``length`` nodes (diameter ``length - 1``)."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if length == 1:
+        return CSRGraph.empty(1)
+    nodes = np.arange(length, dtype=np.int64)
+    edges = np.stack([nodes[:-1], nodes[1:]], axis=1)
+    return CSRGraph.from_edges(edges, num_nodes=length)
+
+
+def cycle_graph(length: int) -> CSRGraph:
+    """Cycle on ``length`` nodes (diameter ``floor(length / 2)``)."""
+    if length < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    nodes = np.arange(length, dtype=np.int64)
+    edges = np.stack([nodes, np.roll(nodes, -1)], axis=1)
+    return CSRGraph.from_edges(edges, num_nodes=length)

@@ -1,0 +1,68 @@
+"""Heavy-tailed-degree generators: Barabási–Albert preferential attachment.
+
+These produce the small-diameter, high-expansion "social network" regime of
+the paper's twitter / livejournal datasets (see the substitution table in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["barabasi_albert_graph"]
+
+
+def barabasi_albert_graph(num_nodes: int, attachment: int, *, seed: SeedLike = None) -> CSRGraph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Starts from a clique on ``attachment + 1`` nodes; every subsequent node
+    attaches to ``attachment`` existing nodes chosen proportionally to their
+    degree (implemented with the standard repeated-endpoint trick: sampling a
+    uniform element of the edge-endpoint list is equivalent to degree-
+    proportional sampling).
+
+    The result is connected, has ``~ attachment * num_nodes`` edges, a
+    power-law degree distribution and ``O(log n)`` diameter — the same regime
+    as the paper's social-network datasets.
+    """
+    if attachment < 1:
+        raise ValueError("attachment must be >= 1")
+    if num_nodes < attachment + 1:
+        raise ValueError("num_nodes must be at least attachment + 1")
+    rng = as_rng(seed)
+
+    # Seed clique.
+    seed_nodes = np.arange(attachment + 1, dtype=np.int64)
+    seed_edges = [(int(i), int(j)) for i in seed_nodes for j in seed_nodes if i < j]
+    edge_src = [e[0] for e in seed_edges]
+    edge_dst = [e[1] for e in seed_edges]
+
+    # Flat list of edge endpoints: sampling uniformly from it is sampling a
+    # node with probability proportional to its degree.
+    endpoints = list(np.asarray(seed_edges, dtype=np.int64).ravel())
+
+    for new_node in range(attachment + 1, num_nodes):
+        targets: set = set()
+        # Rejection-sample distinct degree-proportional targets.
+        while len(targets) < attachment:
+            needed = attachment - len(targets)
+            picks = rng.integers(0, len(endpoints), size=needed * 2 + 1)
+            for p in picks:
+                candidate = int(endpoints[int(p)])
+                if candidate != new_node:
+                    targets.add(candidate)
+                if len(targets) == attachment:
+                    break
+        for t in targets:
+            edge_src.append(new_node)
+            edge_dst.append(t)
+            endpoints.append(new_node)
+            endpoints.append(t)
+
+    edges = np.stack(
+        [np.asarray(edge_src, dtype=np.int64), np.asarray(edge_dst, dtype=np.int64)], axis=1
+    )
+    return CSRGraph.from_edges(edges, num_nodes=num_nodes)

@@ -1,0 +1,68 @@
+"""Graph substrate: CSR representation, IO, traversal, and diameter tools."""
+
+from repro.graph.builders import (
+    add_path,
+    connect_graphs,
+    disjoint_union,
+    from_adjacency_dict,
+    relabel_compact,
+    symmetrize_edges,
+)
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    is_connected,
+    largest_component,
+    num_connected_components,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.diameter_exact import (
+    diameter_all_pairs,
+    diameter_bounds,
+    diameter_ifub,
+    exact_diameter,
+)
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.properties import GraphSummary, degree_statistics, summarize_graph
+from repro.graph.traversal import (
+    UNREACHED,
+    BFSResult,
+    bfs_distances,
+    bfs_levels,
+    double_sweep,
+    eccentricity,
+    multi_source_bfs,
+)
+
+__all__ = [
+    "CSRGraph",
+    "add_path",
+    "connect_graphs",
+    "disjoint_union",
+    "from_adjacency_dict",
+    "relabel_compact",
+    "symmetrize_edges",
+    "component_sizes",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "num_connected_components",
+    "diameter_all_pairs",
+    "diameter_bounds",
+    "diameter_ifub",
+    "exact_diameter",
+    "load_edge_list",
+    "load_npz",
+    "save_edge_list",
+    "save_npz",
+    "GraphSummary",
+    "degree_statistics",
+    "summarize_graph",
+    "UNREACHED",
+    "BFSResult",
+    "bfs_distances",
+    "bfs_levels",
+    "double_sweep",
+    "eccentricity",
+    "multi_source_bfs",
+]

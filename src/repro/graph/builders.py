@@ -1,0 +1,126 @@
+"""Graph construction helpers: edge manipulation, relabeling, composition."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "from_adjacency_dict",
+    "symmetrize_edges",
+    "relabel_compact",
+    "add_path",
+    "disjoint_union",
+    "connect_graphs",
+]
+
+
+def from_adjacency_dict(adjacency: Dict[int, Iterable[int]], num_nodes: Optional[int] = None) -> CSRGraph:
+    """Build a graph from a ``{node: iterable_of_neighbours}`` mapping."""
+    edges = []
+    max_node = -1
+    for u, neighbours in adjacency.items():
+        max_node = max(max_node, int(u))
+        for v in neighbours:
+            max_node = max(max_node, int(v))
+            edges.append((int(u), int(v)))
+    n = num_nodes if num_nodes is not None else max_node + 1
+    return CSRGraph.from_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2), num_nodes=n)
+
+
+def symmetrize_edges(edges: np.ndarray) -> np.ndarray:
+    """Return the symmetric closure of a directed edge array (deduplicated).
+
+    Mirrors the preprocessing the paper applies to the Twitter graph ("a
+    symmetrization of a subgraph of the Twitter network").
+    """
+    edge_array = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edge_array.size == 0:
+        return edge_array
+    both = np.concatenate([edge_array, edge_array[:, ::-1]], axis=0)
+    both = both[both[:, 0] != both[:, 1]]
+    canonical = np.sort(both, axis=1)
+    order = np.lexsort((canonical[:, 1], canonical[:, 0]))
+    canonical = canonical[order]
+    keep = np.ones(canonical.shape[0], dtype=bool)
+    keep[1:] = np.any(canonical[1:] != canonical[:-1], axis=1)
+    return canonical[keep]
+
+
+def relabel_compact(edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Relabel arbitrary integer node ids to a compact ``0..n-1`` range.
+
+    Returns ``(relabelled_edges, original_ids)`` where ``original_ids[i]`` is
+    the original id of new node ``i``.  Used by the edge-list loader so that
+    SNAP-style files with sparse id spaces produce dense CSR graphs.
+    """
+    edge_array = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edge_array.size == 0:
+        return edge_array, np.zeros(0, dtype=np.int64)
+    original_ids, inverse = np.unique(edge_array, return_inverse=True)
+    return inverse.reshape(-1, 2).astype(np.int64), original_ids
+
+
+def add_path(graph: CSRGraph, length: int, attach_to: int) -> CSRGraph:
+    """Append a simple path of ``length`` new nodes to node ``attach_to``.
+
+    This reproduces the "tail" construction of the paper's third experiment
+    (Figure 1): a chain of ``c * diameter`` extra nodes appended to a randomly
+    chosen node, stretching the diameter without altering the base structure.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length == 0:
+        return graph
+    n = graph.num_nodes
+    if not (0 <= attach_to < n):
+        raise IndexError(f"attach_to={attach_to} out of range")
+    new_nodes = np.arange(n, n + length, dtype=np.int64)
+    chain_src = np.concatenate([[attach_to], new_nodes[:-1]])
+    chain_edges = np.stack([chain_src, new_nodes], axis=1)
+    edges = np.concatenate([graph.edges(), chain_edges], axis=0)
+    return CSRGraph.from_edges(edges, num_nodes=n + length)
+
+
+def disjoint_union(graphs: Sequence[CSRGraph]) -> CSRGraph:
+    """Disjoint union of several graphs (node ids shifted block-wise)."""
+    if not graphs:
+        return CSRGraph.empty(0)
+    offset = 0
+    all_edges = []
+    for g in graphs:
+        if g.num_edges:
+            all_edges.append(g.edges() + offset)
+        offset += g.num_nodes
+    if all_edges:
+        edges = np.concatenate(all_edges, axis=0)
+    else:
+        edges = np.zeros((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(edges, num_nodes=offset)
+
+
+def connect_graphs(
+    first: CSRGraph, second: CSRGraph, bridges: Sequence[Tuple[int, int]]
+) -> CSRGraph:
+    """Union of two graphs plus ``bridges`` edges ``(u_in_first, v_in_second)``.
+
+    Used by the composite generators (expander + path of the paper's Section 3
+    example) to attach structures with controlled connectivity.
+    """
+    union = disjoint_union([first, second])
+    if not bridges:
+        return union
+    offset = first.num_nodes
+    bridge_edges = np.asarray(
+        [(int(u), int(v) + offset) for u, v in bridges], dtype=np.int64
+    )
+    if bridge_edges.size:
+        if bridge_edges[:, 0].max() >= first.num_nodes or bridge_edges[:, 0].min() < 0:
+            raise IndexError("bridge endpoint out of range in first graph")
+        if (bridge_edges[:, 1] - offset).max() >= second.num_nodes:
+            raise IndexError("bridge endpoint out of range in second graph")
+    edges = np.concatenate([union.edges(), bridge_edges], axis=0)
+    return CSRGraph.from_edges(edges, num_nodes=union.num_nodes)

@@ -1,0 +1,249 @@
+"""Compressed-sparse-row graph representation.
+
+The whole library operates on unweighted, undirected graphs stored in CSR
+(adjacency-array) form, which is both the natural in-memory layout for
+vectorized NumPy frontier expansion and the closest analogue to the
+edge-partitioned representation a MapReduce/Spark implementation would use.
+
+Nodes are integers ``0 .. n-1``.  Edges are stored twice (once per endpoint),
+self-loops and parallel edges are removed at construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_node_index
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable unweighted, undirected graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; the neighbours of node
+        ``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of length ``2 * num_edges`` holding neighbour ids,
+        sorted within each node's slice.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(np.asarray(self.indptr, dtype=np.int64))
+        indices = np.ascontiguousarray(np.asarray(self.indices, dtype=np.int64))
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional arrays")
+        if indptr.size == 0:
+            raise ValueError("indptr must have length num_nodes + 1 >= 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("indices contain node ids outside [0, num_nodes)")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: "np.ndarray | Sequence[Tuple[int, int]]",
+        num_nodes: Optional[int] = None,
+    ) -> "CSRGraph":
+        """Build a graph from an ``(m, 2)`` edge array (or list of pairs).
+
+        The input is treated as undirected: each edge is inserted in both
+        directions; duplicates and self-loops are dropped.
+
+        Parameters
+        ----------
+        edges:
+            Array-like of shape ``(m, 2)`` with integer endpoints.
+        num_nodes:
+            Number of nodes.  Defaults to ``max endpoint + 1`` (0 for an empty
+            edge list), and may be larger to include isolated nodes.
+        """
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edge_array.shape}")
+        edge_array = edge_array.astype(np.int64, copy=False)
+        if edge_array.size and edge_array.min() < 0:
+            raise ValueError("edge endpoints must be non-negative")
+        inferred = int(edge_array.max()) + 1 if edge_array.size else 0
+        n = inferred if num_nodes is None else int(num_nodes)
+        if n < inferred:
+            raise ValueError(
+                f"num_nodes={n} is smaller than the largest endpoint + 1 ({inferred})"
+            )
+
+        # Drop self-loops, symmetrize, deduplicate.
+        mask = edge_array[:, 0] != edge_array[:, 1]
+        edge_array = edge_array[mask]
+        if edge_array.size:
+            both = np.concatenate([edge_array, edge_array[:, ::-1]], axis=0)
+            # Deduplicate directed pairs via lexicographic sort.
+            order = np.lexsort((both[:, 1], both[:, 0]))
+            both = both[order]
+            keep = np.ones(both.shape[0], dtype=bool)
+            keep[1:] = np.any(both[1:] != both[:-1], axis=1)
+            both = both[keep]
+        else:
+            both = edge_array.reshape(0, 2)
+
+        counts = np.bincount(both[:, 0], minlength=n) if n else np.zeros(0, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = both[:, 1].copy()
+        return cls(indptr=indptr, indices=indices)
+
+    @classmethod
+    def empty(cls, num_nodes: int = 0) -> "CSRGraph":
+        """Graph with ``num_nodes`` isolated nodes and no edges."""
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        return cls(
+            indptr=np.zeros(num_nodes + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (each counted once)."""
+        return int(self.indices.size // 2)
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored arcs (``2m``)."""
+        return int(self.indices.size)
+
+    def degree(self, node: Optional[int] = None) -> "np.ndarray | int":
+        """Degree of ``node``, or the full degree array if ``node`` is None."""
+        if node is None:
+            return np.diff(self.indptr)
+        idx = check_node_index(node, self.num_nodes)
+        return int(self.indptr[idx + 1] - self.indptr[idx])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Read-only view of the neighbour ids of ``node``."""
+        idx = check_node_index(node, self.num_nodes)
+        view = self.indices[self.indptr[idx] : self.indptr[idx + 1]]
+        view.flags.writeable = False
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge ``{u, v}`` is present."""
+        ui = check_node_index(u, self.num_nodes, "u")
+        vi = check_node_index(v, self.num_nodes, "v")
+        row = self.indices[self.indptr[ui] : self.indptr[ui + 1]]
+        pos = np.searchsorted(row, vi)
+        return bool(pos < row.size and row[pos] == vi)
+
+    def edges(self) -> np.ndarray:
+        """Return an ``(m, 2)`` array of undirected edges with ``u < v``."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
+        dst = self.indices
+        mask = src < dst
+        return np.stack([src[mask], dst[mask]], axis=1)
+
+    def neighbor_blocks(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized neighbour gather for a batch of ``nodes``.
+
+        Returns ``(sources, targets)`` where ``targets`` is the concatenation
+        of the adjacency lists of ``nodes`` and ``sources[i]`` is the node
+        whose adjacency list produced ``targets[i]``.  This is the primitive
+        behind every frontier-expansion step in the library.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        starts = self.indptr[nodes]
+        degrees = self.indptr[nodes + 1] - starts
+        total = int(degrees.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        # offsets[i] = position of targets[i] within its source's adjacency list
+        cumulative = np.cumsum(degrees)
+        block_starts = np.repeat(cumulative - degrees, degrees)
+        offsets = np.arange(total, dtype=np.int64) - block_starts
+        positions = np.repeat(starts, degrees) + offsets
+        targets = self.indices[positions]
+        sources = np.repeat(nodes, degrees)
+        return sources, targets
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def subgraph(self, nodes: Iterable[int]) -> Tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original
+        id of new node ``i``.
+        """
+        keep = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if keep.size and (keep.min() < 0 or keep.max() >= self.num_nodes):
+            raise IndexError("subgraph nodes out of range")
+        new_id = -np.ones(self.num_nodes, dtype=np.int64)
+        new_id[keep] = np.arange(keep.size, dtype=np.int64)
+        src, dst = self.neighbor_blocks(keep)
+        mask = new_id[dst] >= 0
+        edges = np.stack([new_id[src[mask]], new_id[dst[mask]]], axis=1)
+        return CSRGraph.from_edges(edges, num_nodes=keep.size), keep
+
+    def to_scipy(self):
+        """Return the adjacency matrix as a ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(self.indices.size, dtype=np.int8)
+        return csr_matrix(
+            (data, self.indices, self.indptr),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with arrays: hash on shape summary
+        return hash((self.num_nodes, self.num_directed_edges))
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

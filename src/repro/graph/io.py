@@ -1,0 +1,117 @@
+"""Edge-list input/output.
+
+Supports the plain whitespace-separated edge-list format used by the SNAP
+datasets the paper evaluates on (``# comment`` lines, one ``u v`` pair per
+line) plus a compact NumPy ``.npz`` format for caching generated graphs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graph.builders import relabel_compact, symmetrize_edges
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, os.PathLike]
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    "parse_edge_list_text",
+]
+
+
+def parse_edge_list_text(text: str) -> np.ndarray:
+    """Parse SNAP-style edge-list text into an ``(m, 2)`` int array.
+
+    Lines starting with ``#`` or ``%`` are comments; blank lines are skipped.
+    Each data line must contain at least two whitespace-separated integers
+    (extra columns, e.g. weights or timestamps, are ignored).
+    """
+    edges = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "%")):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected at least two columns, got {stripped!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-integer endpoints in {stripped!r}") from exc
+        edges.append((u, v))
+    if not edges:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(edges, dtype=np.int64)
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    symmetrize: bool = True,
+    relabel: bool = True,
+    num_nodes: Optional[int] = None,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Load a graph from a whitespace edge-list file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    symmetrize:
+        Treat the file as a directed edge list and take its symmetric closure
+        (the preprocessing the paper applies to the Twitter crawl).
+    relabel:
+        Remap arbitrary node ids to a dense ``0..n-1`` range.
+    num_nodes:
+        Optional explicit node count (only meaningful when ``relabel=False``).
+
+    Returns
+    -------
+    (graph, original_ids):
+        ``original_ids[i]`` is the id in the file of node ``i``; when
+        ``relabel=False`` it is simply ``arange(n)``.
+    """
+    text = Path(path).read_text()
+    edges = parse_edge_list_text(text)
+    if symmetrize:
+        edges = symmetrize_edges(edges)
+    if relabel:
+        edges, original_ids = relabel_compact(edges)
+        graph = CSRGraph.from_edges(edges, num_nodes=original_ids.size)
+    else:
+        graph = CSRGraph.from_edges(edges, num_nodes=num_nodes)
+        original_ids = np.arange(graph.num_nodes, dtype=np.int64)
+    return graph, original_ids
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike, *, header: Optional[str] = None) -> None:
+    """Write ``graph`` as a whitespace edge list (each edge once, ``u < v``)."""
+    edges = graph.edges()
+    buffer = io.StringIO()
+    if header:
+        for line in header.splitlines():
+            buffer.write(f"# {line}\n")
+    buffer.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+    for u, v in edges:
+        buffer.write(f"{int(u)}\t{int(v)}\n")
+    Path(path).write_text(buffer.getvalue())
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Cache a graph in compressed NumPy format."""
+    np.savez_compressed(Path(path), indptr=graph.indptr, indices=graph.indices)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph previously stored with :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return CSRGraph(indptr=data["indptr"], indices=data["indices"])

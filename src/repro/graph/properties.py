@@ -1,0 +1,106 @@
+"""Descriptive graph statistics used by the experiment harness (Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.components import component_sizes, is_connected, num_connected_components
+from repro.graph.csr import CSRGraph
+from repro.graph.diameter_exact import diameter_bounds, exact_diameter
+from repro.graph.traversal import bfs_distances
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["GraphSummary", "summarize_graph", "degree_statistics", "average_distance_sample"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Characteristics of a benchmark graph (one row of the paper's Table 1)."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    diameter: Optional[int]
+    diameter_lower: Optional[int]
+    diameter_upper: Optional[int]
+    num_components: int
+    max_degree: int
+    average_degree: float
+
+    def as_row(self) -> dict:
+        """Row dict for the table renderer."""
+        return {
+            "dataset": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "diameter": self.diameter if self.diameter is not None else f">= {self.diameter_lower}",
+        }
+
+
+def degree_statistics(graph: CSRGraph) -> dict:
+    """Degree distribution summary: min/max/mean/median."""
+    if graph.num_nodes == 0:
+        return {"min": 0, "max": 0, "mean": 0.0, "median": 0.0}
+    degrees = graph.degree()
+    return {
+        "min": int(degrees.min()),
+        "max": int(degrees.max()),
+        "mean": float(degrees.mean()),
+        "median": float(np.median(degrees)),
+    }
+
+
+def average_distance_sample(
+    graph: CSRGraph, *, num_sources: int = 16, seed: SeedLike = 0
+) -> float:
+    """Estimate the average shortest-path distance by sampling BFS sources."""
+    if graph.num_nodes == 0:
+        return 0.0
+    rng = as_rng(seed)
+    sources = rng.choice(graph.num_nodes, size=min(num_sources, graph.num_nodes), replace=False)
+    total, count = 0.0, 0
+    for s in sources:
+        dist = bfs_distances(graph, int(s))
+        reached = dist[dist > 0]
+        if reached.size:
+            total += float(reached.sum())
+            count += int(reached.size)
+    return total / count if count else 0.0
+
+
+def summarize_graph(
+    graph: CSRGraph,
+    name: str = "graph",
+    *,
+    exact: bool = True,
+    seed: SeedLike = 0,
+) -> GraphSummary:
+    """Compute a :class:`GraphSummary`.
+
+    When ``exact`` is False (or the graph is disconnected) only the
+    double-sweep lower / 2x-eccentricity upper bounds are reported, which is
+    what very large instances would use in practice.
+    """
+    degrees = degree_statistics(graph)
+    connected = is_connected(graph)
+    diameter = lower = upper = None
+    if connected and graph.num_nodes > 0:
+        if exact:
+            diameter = exact_diameter(graph)
+            lower = upper = diameter
+        else:
+            lower, upper = diameter_bounds(graph, rng=as_rng(seed))
+    return GraphSummary(
+        name=name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        diameter=diameter,
+        diameter_lower=lower,
+        diameter_upper=upper,
+        num_components=num_connected_components(graph),
+        max_degree=degrees["max"],
+        average_degree=degrees["mean"],
+    )

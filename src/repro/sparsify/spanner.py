@@ -1,0 +1,127 @@
+"""Cluster-based graph sparsification (spanners).
+
+Theorem 4 of the paper needs, in one of its two regimes, to shrink a quotient
+graph that does not fit in a reducer's local memory: it invokes the
+sparsification of Baswana & Sen [4], which computes a ``(2k−1)``-spanner with
+``O(k n^{1+1/k})`` edges through ``k`` rounds of cluster formation — "a
+constant number of cluster growing steps similar in spirit" to CLUSTER's.
+
+We implement the unweighted Baswana–Sen spanner.  For ``k = 2`` it yields a
+3-spanner with ``O(n^{3/2})`` edges, which is the setting Theorem 4 uses to
+make the quotient graph fit in ``M_L`` while stretching its diameter by only a
+constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["baswana_sen_spanner", "spanner_stretch_bound"]
+
+
+def spanner_stretch_bound(k: int) -> int:
+    """Stretch guarantee of the ``k``-round Baswana–Sen spanner (``2k − 1``)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 2 * k - 1
+
+
+def baswana_sen_spanner(graph: CSRGraph, k: int = 2, *, seed: SeedLike = None) -> CSRGraph:
+    """Compute a ``(2k−1)``-spanner of ``graph`` (unweighted Baswana–Sen).
+
+    Phase 1 (k−1 rounds): maintain a clustering, initially all singletons.
+    In each round every cluster survives (is *sampled*) with probability
+    ``n^{-1/k}``; a node adjacent to a sampled cluster joins one of them and
+    adds the connecting edge to the spanner; a node adjacent to no sampled
+    cluster adds one edge to every neighbouring (old) cluster and leaves the
+    clustering.
+
+    Phase 2: every remaining clustered node adds one edge to each
+    neighbouring cluster.
+
+    Returns a subgraph of ``graph`` with the same node set whose shortest-path
+    distances are at most ``2k − 1`` times the originals.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = graph.num_nodes
+    if n == 0 or graph.num_edges == 0:
+        return CSRGraph.empty(n)
+    if k == 1:
+        return graph  # the only 1-spanner is the graph itself
+    rng = as_rng(seed)
+    sample_probability = n ** (-1.0 / k)
+
+    cluster_of = np.arange(n, dtype=np.int64)   # cluster id of each clustered node
+    clustered = np.ones(n, dtype=bool)          # nodes still participating
+    spanner_edges = []
+
+    edges = graph.edges()
+    for _phase in range(k - 1):
+        active_clusters = np.unique(cluster_of[clustered])
+        sampled_mask = rng.random(active_clusters.size) < sample_probability
+        sampled_clusters = set(int(c) for c in active_clusters[sampled_mask])
+
+        new_cluster_of = cluster_of.copy()
+        new_clustered = clustered.copy()
+
+        # Consider, for every clustered node, its edges to clustered neighbours.
+        src, dst = edges[:, 0], edges[:, 1]
+        both = np.concatenate([np.stack([src, dst], axis=1), np.stack([dst, src], axis=1)])
+        u_arr, v_arr = both[:, 0], both[:, 1]
+        valid = clustered[u_arr] & clustered[v_arr]
+        u_arr, v_arr = u_arr[valid], v_arr[valid]
+
+        # Group the incident edges of each node u.
+        order = np.argsort(u_arr, kind="stable")
+        u_sorted, v_sorted = u_arr[order], v_arr[order]
+        boundaries = np.searchsorted(u_sorted, np.arange(n + 1))
+
+        for u in np.flatnonzero(clustered):
+            if cluster_of[u] in sampled_clusters:
+                continue  # nodes of sampled clusters stay as they are
+            lo, hi = boundaries[u], boundaries[u + 1]
+            neighbours = v_sorted[lo:hi]
+            if neighbours.size == 0:
+                new_clustered[u] = False
+                continue
+            neighbour_clusters = cluster_of[neighbours]
+            is_sampled = np.asarray(
+                [int(c) in sampled_clusters for c in neighbour_clusters], dtype=bool
+            )
+            if np.any(is_sampled):
+                # Join (any) one adjacent sampled cluster through one edge.
+                pick = int(np.flatnonzero(is_sampled)[0])
+                spanner_edges.append((int(u), int(neighbours[pick])))
+                new_cluster_of[u] = int(neighbour_clusters[pick])
+            else:
+                # Leave the clustering; keep one edge per adjacent cluster.
+                _, first_index = np.unique(neighbour_clusters, return_index=True)
+                for idx in first_index:
+                    spanner_edges.append((int(u), int(neighbours[int(idx)])))
+                new_clustered[u] = False
+        cluster_of, clustered = new_cluster_of, new_clustered
+
+    # Phase 2: one edge from every still-clustered node to each adjacent cluster.
+    src, dst = edges[:, 0], edges[:, 1]
+    both = np.concatenate([np.stack([src, dst], axis=1), np.stack([dst, src], axis=1)])
+    u_arr, v_arr = both[:, 0], both[:, 1]
+    valid = clustered[u_arr] & clustered[v_arr] & (cluster_of[u_arr] != cluster_of[v_arr])
+    u_arr, v_arr = u_arr[valid], v_arr[valid]
+    if u_arr.size:
+        keys = u_arr * np.int64(n) + cluster_of[v_arr]
+        _, first_index = np.unique(keys, return_index=True)
+        for idx in first_index:
+            spanner_edges.append((int(u_arr[int(idx)]), int(v_arr[int(idx)])))
+    # Also keep intra-cluster tree edges collected implicitly above: edges that
+    # connect a node to the cluster it joined are already in spanner_edges; the
+    # initial singleton clusters need no internal edges.
+
+    if not spanner_edges:
+        return CSRGraph.empty(n)
+    return CSRGraph.from_edges(np.asarray(spanner_edges, dtype=np.int64), num_nodes=n)

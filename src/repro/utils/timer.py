@@ -1,0 +1,60 @@
+"""Lightweight wall-clock timers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("clustering"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("clustering") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed wall-clock time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never measured)."""
+        return self.totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of measurements recorded under ``name``."""
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the accumulated totals."""
+        return dict(self.totals)
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+__all__ = ["Timer", "timed"]

@@ -1,0 +1,52 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> None:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_node_index(node: Any, num_nodes: int, name: str = "node") -> int:
+    """Validate and return ``node`` as a python int in ``[0, num_nodes)``."""
+    idx = int(node)
+    if idx < 0 or idx >= num_nodes:
+        raise IndexError(f"{name} {idx} out of range for graph with {num_nodes} nodes")
+    return idx
+
+
+def check_integer_array(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` has an integer dtype and return it as int64."""
+    arr = np.asarray(array)
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_probability",
+    "check_node_index",
+    "check_integer_array",
+]

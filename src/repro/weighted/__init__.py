@@ -1,0 +1,39 @@
+"""Weighted-graph extension (the paper's §7 outlook): decomposition controlling
+both the weighted radius and the hop radius, plus weighted k-center and
+weighted diameter estimation."""
+
+from repro.weighted.applications import (
+    WeightedDiameterEstimate,
+    WeightedKCenterResult,
+    build_weighted_quotient,
+    estimate_weighted_diameter,
+    weighted_gonzalez_kcenter,
+    weighted_kcenter,
+)
+from repro.weighted.decomposition import WeightedClustering, WeightedGrowth, weighted_cluster
+from repro.weighted.traversal import (
+    WeightedBFSResult,
+    dijkstra,
+    multi_source_dijkstra,
+    weighted_double_sweep,
+    weighted_eccentricity,
+)
+from repro.weighted.wgraph import WeightedCSRGraph
+
+__all__ = [
+    "WeightedDiameterEstimate",
+    "WeightedKCenterResult",
+    "build_weighted_quotient",
+    "estimate_weighted_diameter",
+    "weighted_gonzalez_kcenter",
+    "weighted_kcenter",
+    "WeightedClustering",
+    "WeightedGrowth",
+    "weighted_cluster",
+    "WeightedBFSResult",
+    "dijkstra",
+    "multi_source_dijkstra",
+    "weighted_double_sweep",
+    "weighted_eccentricity",
+    "WeightedCSRGraph",
+]

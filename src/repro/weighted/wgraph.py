@@ -1,0 +1,203 @@
+"""Weighted undirected graphs in CSR form.
+
+The paper's concluding section identifies the extension to weighted graphs as
+the main open direction and sketches "a preliminary decomposition strategy
+that, together with the number of clusters and their weighted radius, also
+controls their hop radius, which governs the parallel depth of the
+computation".  The :mod:`repro.weighted` subpackage implements that extension:
+a weighted CSR graph, weighted traversals, the hop-bounded weighted
+decomposition, and the weighted k-center / diameter applications built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_node_index
+
+__all__ = ["WeightedCSRGraph"]
+
+
+@dataclass(frozen=True)
+class WeightedCSRGraph:
+    """An immutable undirected graph with positive edge weights, in CSR form.
+
+    Attributes
+    ----------
+    indptr / indices:
+        Same layout as :class:`~repro.graph.csr.CSRGraph`.
+    weights:
+        ``float64`` array aligned with ``indices``; ``weights[p]`` is the
+        weight of the arc stored at position ``p``.  Both copies of an
+        undirected edge carry the same weight.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(np.asarray(self.indptr, dtype=np.int64))
+        indices = np.ascontiguousarray(np.asarray(self.indices, dtype=np.int64))
+        weights = np.ascontiguousarray(np.asarray(self.weights, dtype=np.float64))
+        if indptr.size == 0 or indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if weights.shape != indices.shape:
+            raise ValueError("weights must be aligned with indices")
+        if weights.size and weights.min() <= 0:
+            raise ValueError("edge weights must be strictly positive")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("indices contain node ids outside [0, num_nodes)")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "weights", weights)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: "np.ndarray | Sequence[Tuple[int, int]]",
+        weights: "np.ndarray | Sequence[float]",
+        num_nodes: Optional[int] = None,
+    ) -> "WeightedCSRGraph":
+        """Build from an ``(m, 2)`` edge array and a length-``m`` weight array.
+
+        Self-loops are dropped; duplicate undirected edges keep the *minimum*
+        weight (the only sensible choice for shortest-path purposes).
+        """
+        edge_array = np.asarray(
+            list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64
+        ).reshape(-1, 2)
+        weight_array = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                                  dtype=np.float64).reshape(-1)
+        if edge_array.shape[0] != weight_array.shape[0]:
+            raise ValueError("edges and weights must have the same length")
+        if weight_array.size and weight_array.min() <= 0:
+            raise ValueError("edge weights must be strictly positive")
+        if edge_array.size and edge_array.min() < 0:
+            raise ValueError("edge endpoints must be non-negative")
+        inferred = int(edge_array.max()) + 1 if edge_array.size else 0
+        n = inferred if num_nodes is None else int(num_nodes)
+        if n < inferred:
+            raise ValueError("num_nodes smaller than the largest endpoint + 1")
+
+        mask = edge_array[:, 0] != edge_array[:, 1]
+        edge_array, weight_array = edge_array[mask], weight_array[mask]
+        if edge_array.size == 0:
+            return cls(indptr=np.zeros(n + 1, dtype=np.int64),
+                       indices=np.zeros(0, dtype=np.int64),
+                       weights=np.zeros(0, dtype=np.float64))
+
+        # Canonicalize, keep the min weight per undirected edge, then mirror.
+        canonical = np.sort(edge_array, axis=1)
+        keys = canonical[:, 0] * np.int64(n) + canonical[:, 1]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        min_weights = np.full(unique_keys.size, np.inf)
+        np.minimum.at(min_weights, inverse, weight_array)
+        unique_edges = np.stack([unique_keys // n, unique_keys % n], axis=1)
+
+        both = np.concatenate([unique_edges, unique_edges[:, ::-1]], axis=0)
+        both_weights = np.concatenate([min_weights, min_weights])
+        order = np.lexsort((both[:, 1], both[:, 0]))
+        both, both_weights = both[order], both_weights[order]
+        counts = np.bincount(both[:, 0], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=both[:, 1].copy(), weights=both_weights.copy())
+
+    @classmethod
+    def from_unit_graph(cls, graph: CSRGraph, weight: float = 1.0) -> "WeightedCSRGraph":
+        """Lift an unweighted graph to a weighted one with uniform edge weight."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        return cls(
+            indptr=graph.indptr.copy(),
+            indices=graph.indices.copy(),
+            weights=np.full(graph.indices.size, float(weight)),
+        )
+
+    @classmethod
+    def random_weights(
+        cls,
+        graph: CSRGraph,
+        *,
+        low: float = 1.0,
+        high: float = 10.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "WeightedCSRGraph":
+        """Assign independent uniform random weights in ``[low, high]`` to a graph's edges."""
+        if rng is None:
+            rng = np.random.default_rng()
+        if not (0 < low <= high):
+            raise ValueError("need 0 < low <= high")
+        edges = graph.edges()
+        weights = rng.uniform(low, high, size=edges.shape[0])
+        return cls.from_edges(edges, weights, num_nodes=graph.num_nodes)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size // 2)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.indices.size)
+
+    def degree(self) -> np.ndarray:
+        """Degree (number of incident edges) of every node."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbour_ids, edge_weights)`` of ``node``."""
+        idx = check_node_index(node, self.num_nodes)
+        lo, hi = self.indptr[idx], self.indptr[idx + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def neighbor_blocks(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized gather of ``(sources, targets, weights)`` for a batch of nodes."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0, dtype=np.float64)
+        starts = self.indptr[nodes]
+        degrees = self.indptr[nodes + 1] - starts
+        total = int(degrees.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0, dtype=np.float64)
+        cumulative = np.cumsum(degrees)
+        block_starts = np.repeat(cumulative - degrees, degrees)
+        offsets = np.arange(total, dtype=np.int64) - block_starts
+        positions = np.repeat(starts, degrees) + offsets
+        return np.repeat(nodes, degrees), self.indices[positions], self.weights[positions]
+
+    def unweighted(self) -> CSRGraph:
+        """Drop the weights (the hop-metric skeleton of the graph)."""
+        return CSRGraph(indptr=self.indptr.copy(), indices=self.indices.copy())
+
+    def edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(edge_array, weight_array)`` with each undirected edge listed once (u < v)."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
+        mask = src < self.indices
+        return np.stack([src[mask], self.indices[mask]], axis=1), self.weights[mask]
+
+    def total_weight(self) -> float:
+        """Sum of the weights of all (undirected) edges."""
+        return float(self.weights.sum() / 2.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedCSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"total_weight={self.total_weight():.1f})"
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the analysis helpers (doubling dimension, stats, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.doubling import ball, estimate_doubling_dimension, greedy_ball_cover
+from repro.analysis.stats import clustering_report, edge_cut
+from repro.analysis.tables import format_value, render_csv, render_table
+from repro.core.cluster import cluster
+from repro.generators import mesh_graph, path_graph
+from repro.graph.csr import CSRGraph
+
+
+class TestBallAndCover:
+    def test_ball_membership(self, mesh8):
+        members = ball(mesh8, 0, 2)
+        assert 0 in members
+        assert len(members) == 6  # corner of a mesh: 1 + 2 + 3
+
+    def test_ball_radius_zero(self, mesh8):
+        assert ball(mesh8, 5, 0).tolist() == [5]
+
+    def test_ball_negative_radius(self, mesh8):
+        with pytest.raises(ValueError):
+            ball(mesh8, 0, -1)
+
+    def test_greedy_cover_path(self):
+        graph = path_graph(20)
+        nodes = np.arange(20)
+        # Balls of radius 2 cover 5 consecutive path nodes: need >= 4 of them.
+        assert greedy_ball_cover(graph, nodes, 2) >= 4
+
+    def test_greedy_cover_whole_graph_single_ball(self, mesh8):
+        nodes = np.arange(mesh8.num_nodes)
+        assert greedy_ball_cover(mesh8, nodes, 14) == 1
+
+
+class TestDoublingDimension:
+    def test_mesh_dimension_near_two(self, mesh20):
+        estimate = estimate_doubling_dimension(mesh20, num_samples=10, seed=0)
+        assert 1.0 <= estimate.dimension <= 3.5
+        assert estimate.num_samples > 0
+
+    def test_path_dimension_near_one(self):
+        graph = path_graph(200)
+        estimate = estimate_doubling_dimension(graph, num_samples=10, seed=1)
+        assert estimate.dimension <= 2.0
+
+    def test_explicit_radii(self, mesh8):
+        estimate = estimate_doubling_dimension(mesh8, num_samples=4, radii=[2], seed=2)
+        assert estimate.dimension >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_doubling_dimension(CSRGraph.empty(0))
+
+
+class TestClusteringReport:
+    def test_report_consistency(self, mesh20):
+        clustering = cluster(mesh20, 4, seed=3)
+        report = clustering_report(mesh20, clustering)
+        assert report.num_clusters == clustering.num_clusters
+        assert report.max_radius == clustering.max_radius
+        assert report.quotient_edges <= report.cut_edges
+        assert report.as_row("mesh")["dataset"] == "mesh"
+
+    def test_edge_cut_single_cluster_zero(self, mesh8):
+        from repro.core.clustering import Clustering
+
+        single = Clustering(
+            num_nodes=mesh8.num_nodes,
+            assignment=np.zeros(mesh8.num_nodes, dtype=np.int64),
+            centers=np.asarray([0], dtype=np.int64),
+            distance=np.zeros(mesh8.num_nodes, dtype=np.int64),
+        )
+        assert edge_cut(mesh8, single) == 0
+
+    def test_edge_cut_singletons_all_edges(self, mesh8):
+        from repro.core.clustering import Clustering
+
+        singles = Clustering.singleton_clustering(mesh8.num_nodes)
+        assert edge_cut(mesh8, singles) == mesh8.num_edges
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(12345) == "12,345"
+        assert format_value(float("nan")) == "-"
+        assert format_value("text") == "text"
+
+    def test_render_table_contains_data(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        text = render_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "10" in text
+
+    def test_render_table_explicit_columns(self):
+        text = render_table([{"x": 1, "y": 2}], columns=["y"])
+        assert "x" not in text.splitlines()[0]
+
+    def test_render_csv(self):
+        text = render_csv([{"a": 1, "b": "z"}])
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,z"

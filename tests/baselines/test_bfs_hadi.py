@@ -1,0 +1,125 @@
+"""Unit tests for the BFS and HADI diameter-estimation baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bfs_diameter import bfs_diameter, mr_bfs_diameter
+from repro.baselines.hadi import fm_estimate, hadi_diameter, make_fm_sketches
+from repro.generators import barabasi_albert_graph, cycle_graph, mesh_graph, path_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.diameter_exact import exact_diameter
+
+
+class TestBFSDiameter:
+    def test_exact_on_path(self):
+        result = bfs_diameter(path_graph(40), start=20)
+        assert result.estimate == 39
+        assert result.lower_bound <= 39 <= result.upper_bound
+
+    def test_bounds_on_mesh(self, mesh20):
+        result = bfs_diameter(mesh20, seed=0)
+        true_diameter = 38
+        assert result.lower_bound <= true_diameter <= result.upper_bound
+        assert result.num_bfs == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bfs_diameter(CSRGraph.empty(0))
+
+    def test_mr_variant_matches_estimate(self, mesh20):
+        plain = bfs_diameter(mesh20, start=0)
+        metered = mr_bfs_diameter(mesh20, start=0)
+        assert metered.estimate == plain.estimate
+        assert metered.metrics is not None
+
+    def test_mr_rounds_theta_diameter(self):
+        """BFS needs Θ(∆) rounds: on a path of length L the two sweeps cost ~2L."""
+        graph = path_graph(100)
+        result = mr_bfs_diameter(graph, start=50)
+        assert result.metrics.rounds >= 99
+        assert result.metrics.rounds <= 2 * 99 + 4
+
+    def test_mr_communication_linear_aggregate(self, mesh20):
+        result = mr_bfs_diameter(mesh20, seed=1)
+        # Two BFS sweeps: aggregate communication ~ 2 * (2m + n) plus slack.
+        assert result.metrics.shuffled_pairs <= 3 * (mesh20.num_directed_edges + mesh20.num_nodes)
+
+    def test_simulated_time_present(self, mesh20):
+        result = mr_bfs_diameter(mesh20, seed=2)
+        assert result.simulated_time > 0
+
+
+class TestFMSketches:
+    def test_shapes_and_single_bit(self):
+        sketches = make_fm_sketches(50, num_registers=8, rng=np.random.default_rng(0))
+        assert sketches.shape == (50, 8)
+        # Every register has exactly one bit set.
+        counts = np.array([[bin(int(x)).count("1") for x in row] for row in sketches])
+        assert np.all(counts == 1)
+
+    def test_estimate_grows_with_union_size(self):
+        rng = np.random.default_rng(1)
+        small = make_fm_sketches(10, num_registers=32, rng=rng)
+        large = make_fm_sketches(1000, num_registers=32, rng=rng)
+        small_union = np.bitwise_or.reduce(small, axis=0, keepdims=True)
+        large_union = np.bitwise_or.reduce(large, axis=0, keepdims=True)
+        assert fm_estimate(large_union)[0] > fm_estimate(small_union)[0]
+
+    def test_estimate_order_of_magnitude(self):
+        rng = np.random.default_rng(2)
+        sketches = make_fm_sketches(2000, num_registers=64, rng=rng)
+        union = np.bitwise_or.reduce(sketches, axis=0, keepdims=True)
+        estimate = fm_estimate(union)[0]
+        assert 500 <= estimate <= 8000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            make_fm_sketches(-1)
+        with pytest.raises(ValueError):
+            make_fm_sketches(5, num_registers=0)
+        with pytest.raises(ValueError):
+            fm_estimate(np.zeros(5, dtype=np.uint64))
+
+
+class TestHADI:
+    def test_estimate_close_to_diameter_on_small_graphs(self):
+        graph = barabasi_albert_graph(400, 3, seed=3)
+        true_diameter = exact_diameter(graph)
+        result = hadi_diameter(graph, seed=4, num_registers=32)
+        assert abs(result.estimate - true_diameter) <= 2
+
+    def test_neighborhood_function_monotone(self, mesh8):
+        result = hadi_diameter(mesh8, seed=5, num_registers=16)
+        nf = result.neighborhood_function
+        assert all(b >= a * 0.99 for a, b in zip(nf, nf[1:]))
+
+    def test_rounds_theta_diameter(self):
+        """HADI executes ~∆ sketch-propagation rounds."""
+        graph = cycle_graph(60)  # diameter 30
+        result = hadi_diameter(graph, seed=6, num_registers=16)
+        assert 20 <= result.metrics.rounds <= 40
+
+    def test_communication_per_round_linear_in_edges(self, mesh20):
+        result = hadi_diameter(mesh20, seed=7, num_registers=8, max_iterations=5)
+        per_round = result.metrics.max_round_pairs
+        assert per_round >= mesh20.num_directed_edges
+
+    def test_max_iterations_cap(self, mesh20):
+        result = hadi_diameter(mesh20, seed=8, num_registers=8, max_iterations=3)
+        assert result.iterations <= 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hadi_diameter(CSRGraph.empty(0))
+
+    def test_hadi_is_slower_than_cluster_on_long_diameter_graph(self):
+        """The Table 4 shape: HADI's simulated time exceeds CLUSTER's on a
+        long-diameter graph under the same cost model."""
+        from repro.core.mr_algorithms import mr_estimate_diameter
+
+        graph = mesh_graph(18, 18)
+        ours = mr_estimate_diameter(graph, target_clusters=20, seed=9)
+        hadi = hadi_diameter(graph, seed=9, num_registers=8)
+        assert hadi.simulated_time > ours.simulated_time

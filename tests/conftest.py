@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    barabasi_albert_graph,
+    cycle_graph,
+    mesh_graph,
+    path_graph,
+    random_geometric_graph,
+    road_network_graph,
+)
+from repro.graph.builders import disjoint_union
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A 6-node hand-built graph: a triangle joined to a path.
+
+    Structure::
+
+        0 - 1 - 2      3 - 4 - 5
+         \\_____/       (path attached to node 2 via edge 2-3)
+    """
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]
+    return CSRGraph.from_edges(np.asarray(edges))
+
+
+@pytest.fixture
+def path10() -> CSRGraph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def cycle12() -> CSRGraph:
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def mesh8() -> CSRGraph:
+    return mesh_graph(8, 8)
+
+
+@pytest.fixture
+def mesh20() -> CSRGraph:
+    return mesh_graph(20, 20)
+
+
+@pytest.fixture
+def ba_graph() -> CSRGraph:
+    return barabasi_albert_graph(300, 3, seed=7)
+
+
+@pytest.fixture
+def road_graph() -> CSRGraph:
+    return road_network_graph(24, 24, seed=5)
+
+
+@pytest.fixture
+def geometric_graph() -> CSRGraph:
+    return random_geometric_graph(250, 0.12, seed=11)
+
+
+@pytest.fixture
+def disconnected_graph() -> CSRGraph:
+    """Two meshes and an isolated triangle (3 components)."""
+    triangle = CSRGraph.from_edges(np.asarray([(0, 1), (1, 2), (0, 2)]))
+    return disjoint_union([mesh_graph(5, 5), mesh_graph(4, 4), triangle])
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert a CSRGraph to networkx for cross-checking."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_edges_from(map(tuple, graph.edges()))
+    return g

@@ -1,0 +1,141 @@
+"""Unit tests for Algorithm 1 (CLUSTER)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import (
+    cluster,
+    cluster_with_target_clusters,
+    selection_probability,
+    uncovered_threshold,
+)
+from repro.generators import barabasi_albert_graph, mesh_graph, path_graph
+from repro.graph.csr import CSRGraph
+
+
+class TestHelpers:
+    def test_threshold_formula(self):
+        assert uncovered_threshold(1024, 2) == pytest.approx(8 * 2 * 10)
+
+    def test_selection_probability_clamped(self):
+        assert selection_probability(1024, 2, 10) == 1.0
+        assert selection_probability(1024, 2, 0) == 0.0
+        assert 0 < selection_probability(1024, 2, 10_000) < 1
+
+
+class TestClusterInvariants:
+    @pytest.mark.parametrize("tau", [1, 2, 8])
+    def test_partition_valid(self, mesh20, tau):
+        result = cluster(mesh20, tau, seed=0)
+        result.validate(mesh20)
+
+    def test_every_node_covered(self, ba_graph):
+        result = cluster(ba_graph, 4, seed=1)
+        assert np.all(result.assignment >= 0)
+        assert result.cluster_sizes().sum() == ba_graph.num_nodes
+
+    def test_centers_are_distinct(self, mesh20):
+        result = cluster(mesh20, 4, seed=2)
+        assert len(set(result.centers.tolist())) == result.num_clusters
+
+    def test_deterministic_given_seed(self, mesh20):
+        a = cluster(mesh20, 4, seed=123)
+        b = cluster(mesh20, 4, seed=123)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert np.array_equal(a.centers, b.centers)
+
+    def test_different_seeds_differ(self, mesh20):
+        a = cluster(mesh20, 4, seed=1)
+        b = cluster(mesh20, 4, seed=2)
+        assert not np.array_equal(a.centers, b.centers)
+
+    def test_invalid_tau(self, mesh8):
+        with pytest.raises(ValueError):
+            cluster(mesh8, 0)
+        with pytest.raises(ValueError):
+            cluster(mesh8, -3)
+
+    def test_tiny_graphs(self):
+        single = CSRGraph.empty(1)
+        result = cluster(single, 1, seed=0)
+        assert result.num_clusters == 1
+        pair = path_graph(2)
+        result = cluster(pair, 1, seed=0)
+        result.validate(pair)
+
+    def test_disconnected_graph_covered(self, disconnected_graph):
+        result = cluster(disconnected_graph, 4, seed=3)
+        result.validate(disconnected_graph)
+        assert np.all(result.assignment >= 0)
+
+    def test_iteration_trace_consistent(self, mesh20):
+        result = cluster(mesh20, 2, seed=4)
+        assert result.growth_steps == len(result.step_log)
+        assert sum(it.growth_steps for it in result.iterations) == result.growth_steps
+        # Coverage counts are monotone across iterations.
+        covered = [it.covered_after for it in result.iterations]
+        assert covered == sorted(covered)
+
+
+class TestClusterQuality:
+    def test_cluster_count_scales_with_tau(self, mesh20):
+        small = cluster(mesh20, 1, seed=5)
+        large = cluster(mesh20, 16, seed=5)
+        assert large.num_clusters > small.num_clusters
+
+    def test_cluster_count_theorem1_bound(self, mesh20):
+        """Theorem 1: O(tau log^2 n) clusters (constant ~ 8 is generous)."""
+        n = mesh20.num_nodes
+        for tau in (1, 2, 4):
+            result = cluster(mesh20, tau, seed=6)
+            bound = 8 * tau * math.log2(n) ** 2 + 8 * tau * math.log2(n)
+            assert result.num_clusters <= bound
+
+    def test_radius_at_most_diameter(self, mesh20):
+        result = cluster(mesh20, 2, seed=7)
+        assert result.max_radius <= 38  # mesh20 diameter
+
+    def test_radius_shrinks_with_tau(self, road_graph):
+        coarse = cluster(road_graph, 1, seed=8)
+        fine = cluster(road_graph, 32, seed=8)
+        assert fine.max_radius <= coarse.max_radius
+
+    def test_halving_invariant(self, mesh20):
+        """Each outer iteration (except possibly the last) covers at least half
+        of the then-uncovered nodes or exhausts the growth frontier."""
+        result = cluster(mesh20, 2, seed=9)
+        for stats in result.iterations:
+            uncovered_after = mesh20.num_nodes - stats.covered_after
+            assert uncovered_after <= stats.uncovered_before // 2 + 1 or stats.growth_steps > 0
+
+    def test_expander_path_example_small(self):
+        """Scaled-down version of the paper's §3 example: radius ≪ diameter."""
+        from repro.generators.composite import expander_with_path
+        from repro.graph.traversal import double_sweep
+
+        graph = expander_with_path(900, degree=4, seed=10)
+        # τ = √n in the paper; divide by log n so the 8 τ log n threshold stays
+        # meaningful at this small scale.
+        tau = max(1, math.isqrt(graph.num_nodes) // int(math.log2(graph.num_nodes)))
+        result = cluster(graph, tau, seed=10)
+        diameter_lower, _, _ = double_sweep(graph)
+        assert result.max_radius < diameter_lower / 2
+
+
+class TestTargetClusters:
+    def test_lands_near_target(self, mesh20):
+        target = 40
+        result = cluster_with_target_clusters(mesh20, target, seed=11)
+        assert 0.4 * target <= result.num_clusters <= 2.5 * target
+
+    def test_invalid_target(self, mesh20):
+        with pytest.raises(ValueError):
+            cluster_with_target_clusters(mesh20, 0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_with_target_clusters(CSRGraph.empty(0), 5)

@@ -1,0 +1,74 @@
+"""Unit tests for Algorithm 2 (CLUSTER2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.cluster2 import cluster2
+from repro.generators import mesh_graph
+from repro.graph.csr import CSRGraph
+
+
+class TestCluster2Invariants:
+    def test_partition_valid(self, mesh20):
+        result = cluster2(mesh20, 4, seed=0)
+        result.clustering.validate(mesh20)
+        assert result.clustering.algorithm == "cluster2"
+
+    def test_pilot_is_cluster_run(self, mesh20):
+        result = cluster2(mesh20, 4, seed=1)
+        assert result.pilot.algorithm == "cluster"
+        assert result.r_alg == result.pilot.max_radius
+
+    def test_radius_bound_lemma2(self, mesh20):
+        """Lemma 2: R_ALG2 <= 2 * R_ALG * log n (when R_ALG >= 1)."""
+        result = cluster2(mesh20, 4, seed=2)
+        log_n = math.log2(mesh20.num_nodes)
+        bound = 2 * max(1, result.r_alg) * log_n
+        assert result.max_radius <= bound
+
+    def test_reuses_provided_pilot(self, mesh20):
+        pilot = cluster(mesh20, 4, seed=3)
+        result = cluster2(mesh20, 4, seed=3, pilot=pilot)
+        assert result.pilot is pilot
+
+    def test_deterministic_given_seed(self, mesh20):
+        a = cluster2(mesh20, 4, seed=4)
+        b = cluster2(mesh20, 4, seed=4)
+        assert np.array_equal(a.clustering.assignment, b.clustering.assignment)
+
+    def test_invalid_tau(self, mesh8):
+        with pytest.raises(ValueError):
+            cluster2(mesh8, 0)
+
+    def test_full_coverage_on_disconnected(self, disconnected_graph):
+        result = cluster2(disconnected_graph, 4, seed=5)
+        result.clustering.validate(disconnected_graph)
+        assert np.all(result.clustering.assignment >= 0)
+
+    def test_num_clusters_property(self, mesh20):
+        result = cluster2(mesh20, 2, seed=6)
+        assert result.num_clusters == result.clustering.num_clusters
+
+    def test_iterations_at_most_log_n_plus_one(self, mesh20):
+        result = cluster2(mesh20, 2, seed=7)
+        assert len(result.clustering.iterations) <= math.ceil(math.log2(mesh20.num_nodes)) + 1
+
+
+class TestCluster2VsCluster:
+    def test_cluster2_count_within_lemma2_bound(self, mesh20):
+        """Lemma 2: O(tau log^4 n) clusters — check against a generous constant."""
+        plain = cluster(mesh20, 2, seed=8)
+        refined = cluster2(mesh20, 2, seed=8, pilot=plain)
+        log_n = math.log2(mesh20.num_nodes)
+        assert 1 <= refined.num_clusters <= 8 * 2 * log_n ** 4
+        assert refined.num_clusters <= mesh20.num_nodes
+
+    def test_small_graph(self):
+        g = mesh_graph(3, 3)
+        result = cluster2(g, 1, seed=9)
+        result.clustering.validate(g)

@@ -1,0 +1,68 @@
+"""Cross-checks between the MR-native and in-memory executions of CLUSTER."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.mr_native import mr_cluster_native
+from repro.generators import barabasi_albert_graph, mesh_graph, path_graph
+from repro.graph.csr import CSRGraph
+from repro.mapreduce.model import MRModel
+
+
+class TestNativeExecution:
+    def test_valid_partition(self, mesh20):
+        clustering, engine = mr_cluster_native(mesh20, 2, seed=0)
+        clustering.validate(mesh20)
+        assert clustering.algorithm == "cluster-mr-native"
+        assert engine.metrics.rounds > 0
+        assert engine.metrics.shuffled_pairs > 0
+
+    def test_matches_in_memory_plane(self, mesh20):
+        """Same seed ⇒ same covered-set evolution ⇒ same centers, cluster count
+        and step count as the vectorized implementation.  Ownership ties are
+        broken differently (the native reducer picks the *lightest* claim), so
+        the per-node growth distance can only be smaller or equal."""
+        native, _ = mr_cluster_native(mesh20, 2, seed=42)
+        vectorized = cluster(mesh20, 2, seed=42)
+        assert native.num_clusters == vectorized.num_clusters
+        assert np.array_equal(native.centers, vectorized.centers)
+        assert native.growth_steps == vectorized.growth_steps
+        assert len(native.iterations) == len(vectorized.iterations)
+        assert np.all(native.distance <= vectorized.distance)
+        assert native.max_radius <= vectorized.max_radius
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_matches_on_social_graph(self, seed):
+        graph = barabasi_albert_graph(300, 3, seed=9)
+        native, _ = mr_cluster_native(graph, 1, seed=seed)
+        vectorized = cluster(graph, 1, seed=seed)
+        assert native.num_clusters == vectorized.num_clusters
+        assert np.array_equal(native.centers, vectorized.centers)
+        assert native.max_radius <= vectorized.max_radius
+
+    def test_round_accounting(self, mesh20):
+        clustering, engine = mr_cluster_native(mesh20, 2, seed=3)
+        expected = clustering.growth_steps + len(clustering.iterations)
+        assert engine.metrics.rounds == expected
+        assert engine.metrics.per_label.get("native-growing-step", 0) == clustering.growth_steps
+
+    def test_local_memory_constraint_checked(self):
+        graph = mesh_graph(12, 12)
+        model = MRModel(local_memory=2, enforce=False)
+        _, engine = mr_cluster_native(graph, 2, seed=4, model=model)
+        # With an absurdly small M_L the engine must have recorded violations
+        # (reducers receive more than two pairs), demonstrating the check is live.
+        assert engine.model.num_violations > 0
+
+    def test_invalid_tau(self, mesh8):
+        with pytest.raises(ValueError):
+            mr_cluster_native(mesh8, 0)
+
+    def test_tiny_graphs(self):
+        clustering, _ = mr_cluster_native(CSRGraph.empty(0), 1)
+        assert clustering.num_clusters == 0
+        clustering, _ = mr_cluster_native(path_graph(3), 1, seed=5)
+        clustering.validate(path_graph(3))

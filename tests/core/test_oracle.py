@@ -1,0 +1,67 @@
+"""Unit tests for the approximate distance oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import build_distance_oracle
+from repro.generators import barabasi_albert_graph, mesh_graph, path_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import bfs_distances
+
+
+class TestOracleBounds:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: mesh_graph(15, 15),
+            lambda: path_graph(150),
+            lambda: barabasi_albert_graph(400, 3, seed=1),
+        ],
+    )
+    def test_lower_true_upper_sandwich(self, graph_builder):
+        graph = graph_builder()
+        oracle = build_distance_oracle(graph, seed=0)
+        rng = np.random.default_rng(0)
+        sources = rng.choice(graph.num_nodes, size=5, replace=False)
+        for s in sources:
+            true_dist = bfs_distances(graph, int(s))
+            targets = rng.choice(graph.num_nodes, size=10, replace=False)
+            for t in targets:
+                lower, upper = oracle.query(int(s), int(t))
+                assert lower <= true_dist[t] <= upper
+
+    def test_same_node_zero(self, mesh20):
+        oracle = build_distance_oracle(mesh20, seed=1)
+        assert oracle.query(7, 7) == (0.0, 0.0)
+
+    def test_query_upper_convenience(self, mesh20):
+        oracle = build_distance_oracle(mesh20, seed=2)
+        assert oracle.query_upper(0, 399) == oracle.query(0, 399)[1]
+
+    def test_out_of_range_rejected(self, mesh8):
+        oracle = build_distance_oracle(mesh8, seed=3)
+        with pytest.raises(IndexError):
+            oracle.query(0, 999)
+
+
+class TestOracleConstruction:
+    def test_cluster_variant(self, mesh20):
+        oracle = build_distance_oracle(mesh20, seed=4, use_cluster2=False)
+        lower, upper = oracle.query(0, 399)
+        assert lower <= 38 <= upper
+
+    def test_explicit_tau(self, mesh20):
+        oracle = build_distance_oracle(mesh20, seed=5, tau=2)
+        assert oracle.num_clusters >= 1
+
+    def test_space_is_subquadratic(self, mesh20):
+        """The oracle must use far less space than the full distance matrix."""
+        oracle = build_distance_oracle(mesh20, seed=6)
+        n = mesh20.num_nodes
+        assert oracle.space_entries < n * n / 2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            build_distance_oracle(CSRGraph.empty(0))

@@ -1,0 +1,144 @@
+"""Unit tests for quotient-graph construction and quotient diameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.quotient import (
+    QuotientGraph,
+    build_quotient_graph,
+    quotient_diameter,
+    quotient_dijkstra,
+)
+from repro.core.clustering import Clustering
+from repro.generators import mesh_graph, path_graph
+from repro.graph.components import is_connected
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def mesh_clustering(mesh20):
+    return cluster(mesh20, 4, seed=0)
+
+
+class TestBuildQuotient:
+    def test_node_count_equals_clusters(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering)
+        assert q.num_nodes == mesh_clustering.num_clusters
+        assert not q.is_weighted
+
+    def test_connected_quotient_of_connected_graph(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering)
+        assert is_connected(q.graph)
+
+    def test_edges_correspond_to_crossing_edges(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering)
+        assignment = mesh_clustering.assignment
+        expected_pairs = set()
+        for u, v in mesh20.edges():
+            cu, cv = int(assignment[u]), int(assignment[v])
+            if cu != cv:
+                expected_pairs.add((min(cu, cv), max(cu, cv)))
+        got_pairs = set((min(int(a), int(b)), max(int(a), int(b))) for a, b in q.graph.edges())
+        assert got_pairs == expected_pairs
+
+    def test_weighted_quotient_weights_positive(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
+        assert q.is_weighted
+        assert np.all(q.weights >= 1)
+
+    def test_weight_definition(self, mesh20, mesh_clustering):
+        """Weight = min over crossing edges of dist(a, c_A) + 1 + dist(b, c_B)."""
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
+        assignment = mesh_clustering.assignment
+        dist = mesh_clustering.distance
+        # Recompute one arbitrary quotient edge's weight by brute force.
+        a, b = q.graph.edges()[0]
+        crossing = []
+        for u, v in mesh20.edges():
+            cu, cv = int(assignment[u]), int(assignment[v])
+            if {cu, cv} == {int(a), int(b)}:
+                crossing.append(int(dist[u]) + int(dist[v]) + 1)
+        assert q.arc_weight(int(a), int(b)) == min(crossing)
+
+    def test_arc_weight_missing_edge(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
+        # Find a non-adjacent pair of clusters (exists unless quotient is complete).
+        adj = {tuple(sorted(map(int, e))) for e in q.graph.edges()}
+        k = q.num_nodes
+        missing = None
+        for i in range(k):
+            for j in range(i + 1, k):
+                if (i, j) not in adj:
+                    missing = (i, j)
+                    break
+            if missing:
+                break
+        if missing is not None:
+            with pytest.raises(KeyError):
+                q.arc_weight(*missing)
+
+    def test_single_cluster_quotient_empty(self, mesh8):
+        single = Clustering(
+            num_nodes=mesh8.num_nodes,
+            assignment=np.zeros(mesh8.num_nodes, dtype=np.int64),
+            centers=np.asarray([0], dtype=np.int64),
+            distance=np.asarray(
+                [int(d) for d in np.maximum(0, np.arange(mesh8.num_nodes) % 3)], dtype=np.int64
+            ),
+        )
+        q = build_quotient_graph(mesh8, single)
+        assert q.num_nodes == 1
+        assert q.num_edges == 0
+
+    def test_size_mismatch_rejected(self, mesh8, mesh_clustering):
+        with pytest.raises(ValueError):
+            build_quotient_graph(mesh8, mesh_clustering)
+
+
+class TestQuotientDiameter:
+    def test_unweighted_methods_agree(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering)
+        assert quotient_diameter(q, method="dijkstra") == quotient_diameter(q, method="scipy")
+
+    def test_weighted_methods_agree(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
+        assert quotient_diameter(q, method="dijkstra") == pytest.approx(
+            quotient_diameter(q, method="scipy")
+        )
+
+    def test_singleton_clusters_recover_graph_diameter(self, path10):
+        singles = Clustering.singleton_clustering(path10.num_nodes)
+        q = build_quotient_graph(path10, singles)
+        assert quotient_diameter(q) == 9
+
+    def test_single_node_quotient(self):
+        q = QuotientGraph(graph=CSRGraph.empty(1))
+        assert quotient_diameter(q) == 0.0
+
+    def test_empty_quotient_rejected(self):
+        with pytest.raises(ValueError):
+            quotient_diameter(QuotientGraph(graph=CSRGraph.empty(0)))
+
+    def test_disconnected_quotient_rejected(self):
+        q = QuotientGraph(graph=CSRGraph.from_edges([(0, 1)], num_nodes=3))
+        with pytest.raises(ValueError):
+            quotient_diameter(q, method="dijkstra")
+        with pytest.raises(ValueError):
+            quotient_diameter(q, method="scipy")
+
+    def test_unknown_method_rejected(self, path10):
+        singles = Clustering.singleton_clustering(path10.num_nodes)
+        q = build_quotient_graph(path10, singles)
+        with pytest.raises(ValueError):
+            quotient_diameter(q, method="bogus")
+
+    def test_dijkstra_single_source(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
+        dist = quotient_dijkstra(q, 0)
+        assert dist[0] == 0.0
+        assert np.all(np.isfinite(dist))
+        with pytest.raises(IndexError):
+            quotient_dijkstra(q, q.num_nodes)

@@ -1,0 +1,61 @@
+"""Tests for the experiment CLI (argument parsing and dispatch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "default"
+        assert not args.csv
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["table4", "--scale", "small", "--no-hadi", "--csv", "--datasets", "mesh"]
+        )
+        assert args.no_hadi and args.csv
+        assert args.datasets == ["mesh"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])
+
+
+class TestDispatch:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure1",
+            "ablations",
+        }
+
+    def test_run_experiment_unknown(self):
+        args = build_parser().parse_args(["table1"])
+        with pytest.raises(KeyError):
+            run_experiment("nope", args)
+
+    def test_main_table1_small(self, capsys):
+        code = main(["table1", "--scale", "small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mesh" in out
+        assert "Table 1" in out
+
+    def test_main_csv_output(self, capsys):
+        code = main(["table1", "--scale", "small", "--csv"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("dataset,")
+
+    def test_main_table2_restricted(self, capsys):
+        code = main(["table2", "--scale", "small", "--datasets", "mesh", "--verbose"])
+        assert code == 0
+        assert "mesh" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Unit tests for the road-network and composite generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.composite import expander_with_path, tail_family, with_tail
+from repro.generators.geometric import random_geometric_graph, road_network_graph
+from repro.generators.mesh import mesh_graph
+from repro.graph.components import is_connected
+from repro.graph.diameter_exact import exact_diameter
+from repro.graph.traversal import double_sweep
+
+
+class TestRandomGeometric:
+    def test_connected_component_returned(self):
+        g = random_geometric_graph(300, 0.12, seed=1)
+        assert is_connected(g)
+        assert g.num_nodes > 100
+
+    def test_radius_controls_density(self):
+        sparse = random_geometric_graph(300, 0.07, seed=2, connected_only=False)
+        dense = random_geometric_graph(300, 0.2, seed=2, connected_only=False)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_geometric_graph(10, 0.0)
+        with pytest.raises(ValueError):
+            random_geometric_graph(-5, 0.1)
+
+    def test_deterministic(self):
+        a = random_geometric_graph(150, 0.15, seed=3)
+        b = random_geometric_graph(150, 0.15, seed=3)
+        assert a == b
+
+
+class TestRoadNetwork:
+    def test_long_diameter_sparse(self):
+        g = road_network_graph(30, 30, seed=4)
+        assert is_connected(g)
+        assert g.num_edges < 2 * g.num_nodes  # sparse
+        lower, _, _ = double_sweep(g)
+        assert lower >= 40  # diameter comparable to grid dimension
+
+    def test_removal_probability_bounds(self):
+        with pytest.raises(ValueError):
+            road_network_graph(10, 10, removal_probability=1.0)
+        with pytest.raises(ValueError):
+            road_network_graph(10, 10, shortcut_fraction=-0.1)
+
+    def test_deterministic(self):
+        assert road_network_graph(20, 20, seed=6) == road_network_graph(20, 20, seed=6)
+
+
+class TestComposite:
+    def test_expander_with_path_diameter_dominated_by_path(self):
+        g = expander_with_path(1024, degree=4, seed=7)
+        assert is_connected(g)
+        lower, _, _ = double_sweep(g)
+        assert lower >= int(np.sqrt(1024)) - 2
+
+    def test_expander_with_path_invalid(self):
+        with pytest.raises(ValueError):
+            expander_with_path(4)
+        with pytest.raises(ValueError):
+            expander_with_path(20, path_length=19)
+
+    def test_with_tail_lengths(self, mesh8):
+        g = with_tail(mesh8, 12, seed=8)
+        assert g.num_nodes == mesh8.num_nodes + 12
+        assert is_connected(g)
+
+    def test_with_tail_explicit_attach(self, mesh8):
+        g = with_tail(mesh8, 5, attach_to=0)
+        assert exact_diameter(g) == exact_diameter(mesh8) + 5
+
+    def test_tail_family_keys_and_growth(self):
+        base = mesh_graph(5, 5)
+        family = tail_family(base, base_diameter=8, multipliers=(0, 1, 2), seed=9)
+        assert set(family) == {0, 1, 2}
+        assert family[0].num_nodes == base.num_nodes
+        assert family[2].num_nodes == base.num_nodes + 16
+        # Same attachment node for every member: diameters increase monotonically.
+        diam = [exact_diameter(family[c]) for c in (0, 1, 2)]
+        assert diam[0] < diam[1] < diam[2]

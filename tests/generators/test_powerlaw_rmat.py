@@ -1,0 +1,71 @@
+"""Unit tests for the Barabási–Albert and R-MAT generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.powerlaw import barabasi_albert_graph
+from repro.generators.rmat import rmat_graph
+from repro.graph.components import is_connected, largest_component
+from repro.graph.diameter_exact import exact_diameter
+
+
+class TestBarabasiAlbert:
+    def test_counts(self):
+        g = barabasi_albert_graph(500, 3, seed=1)
+        assert g.num_nodes == 500
+        # m0 clique + 3 edges per new node (minus possible duplicates)
+        assert g.num_edges >= 3 * (500 - 4)
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(400, 2, seed=2))
+
+    def test_small_diameter(self):
+        g = barabasi_albert_graph(600, 4, seed=3)
+        assert exact_diameter(g) <= 8
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(800, 3, seed=4)
+        degrees = g.degree()
+        assert degrees.max() >= 5 * degrees.mean()
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(200, 2, seed=5) == barabasi_albert_graph(200, 2, seed=5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 5)
+
+
+class TestRMAT:
+    def test_counts(self):
+        g = rmat_graph(9, 8, seed=1)
+        assert g.num_nodes == 512
+        assert g.num_edges > 0
+
+    def test_connected_only_flag(self):
+        g = rmat_graph(9, 8, seed=2, connected_only=True)
+        assert is_connected(g)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, 16, seed=3, connected_only=True)
+        degrees = g.degree()
+        assert degrees.max() >= 4 * degrees.mean()
+
+    def test_deterministic(self):
+        assert rmat_graph(8, 8, seed=4) == rmat_graph(8, 8, seed=4)
+
+    def test_small_diameter(self):
+        g = rmat_graph(10, 16, seed=5, connected_only=True)
+        assert exact_diameter(g) <= 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0, 4)
+        with pytest.raises(ValueError):
+            rmat_graph(4, 0)
+        with pytest.raises(ValueError):
+            rmat_graph(4, 4, a=0.9, b=0.2, c=0.2)

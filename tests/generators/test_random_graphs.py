@@ -1,0 +1,80 @@
+"""Unit tests for Erdős–Rényi and random-regular generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.random_graphs import erdos_renyi_graph, gnm_graph, random_regular_graph
+from repro.graph.components import is_connected
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        n, p = 300, 0.05
+        g = erdos_renyi_graph(n, p, seed=3)
+        expected = p * n * (n - 1) / 2
+        assert 0.8 * expected <= g.num_edges <= 1.2 * expected
+
+    def test_zero_probability(self):
+        assert erdos_renyi_graph(50, 0.0, seed=1).num_edges == 0
+
+    def test_probability_one_dense(self):
+        g = erdos_renyi_graph(12, 1.0, seed=1)
+        assert g.num_edges >= 0.8 * 12 * 11 / 2
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_graph(80, 0.1, seed=42)
+        b = erdos_renyi_graph(80, 0.1, seed=42)
+        assert a == b
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(-1, 0.5)
+
+    def test_empty(self):
+        assert erdos_renyi_graph(0, 0.5, seed=1).num_nodes == 0
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_graph(60, 200, seed=7)
+        assert g.num_edges == 200
+        assert g.num_nodes == 60
+
+    def test_zero_edges(self):
+        assert gnm_graph(10, 0, seed=1).num_edges == 0
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_graph(4, 100)
+
+    def test_deterministic(self):
+        assert gnm_graph(30, 50, seed=5) == gnm_graph(30, 50, seed=5)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(20, 3), (50, 4), (64, 6)])
+    def test_regularity(self, n, d):
+        g = random_regular_graph(n, d, seed=9)
+        degrees = g.degree()
+        # The configuration model retries until simple; degrees should be exact.
+        assert degrees.max() <= d
+        assert degrees.mean() >= d - 0.5
+
+    def test_expander_is_connected(self):
+        g = random_regular_graph(200, 4, seed=11)
+        assert is_connected(g)
+
+    def test_degree_zero(self):
+        assert random_regular_graph(10, 0, seed=1).num_edges == 0
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)

@@ -1,0 +1,82 @@
+"""Unit tests for exact diameter computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.diameter_exact import (
+    diameter_all_pairs,
+    diameter_bounds,
+    diameter_ifub,
+    exact_diameter,
+)
+from repro.generators import cycle_graph, mesh_graph, path_graph
+from tests.conftest import to_networkx
+
+
+class TestExactOnKnownGraphs:
+    @pytest.mark.parametrize("n,expected", [(2, 1), (5, 4), (17, 16)])
+    def test_path(self, n, expected):
+        assert diameter_all_pairs(path_graph(n)) == expected
+        assert diameter_ifub(path_graph(n)) == expected
+
+    @pytest.mark.parametrize("n,expected", [(4, 2), (9, 4), (12, 6)])
+    def test_cycle(self, n, expected):
+        assert diameter_all_pairs(cycle_graph(n)) == expected
+        assert diameter_ifub(cycle_graph(n)) == expected
+
+    @pytest.mark.parametrize("rows,cols", [(3, 3), (5, 8), (7, 2)])
+    def test_mesh(self, rows, cols):
+        expected = (rows - 1) + (cols - 1)
+        assert diameter_all_pairs(mesh_graph(rows, cols)) == expected
+        assert diameter_ifub(mesh_graph(rows, cols)) == expected
+
+    def test_single_node(self):
+        single = CSRGraph.empty(1)
+        assert diameter_all_pairs(single) == 0
+        assert diameter_ifub(single) == 0
+
+
+class TestAgreementWithNetworkx:
+    def test_random_ba_graph(self, ba_graph):
+        import networkx as nx
+
+        expected = nx.diameter(to_networkx(ba_graph))
+        assert diameter_all_pairs(ba_graph) == expected
+        assert diameter_ifub(ba_graph) == expected
+        assert exact_diameter(ba_graph) == expected
+
+    def test_road_graph(self, road_graph):
+        import networkx as nx
+
+        expected = nx.diameter(to_networkx(road_graph))
+        assert diameter_ifub(road_graph) == expected
+
+
+class TestBoundsAndErrors:
+    def test_bounds_sandwich(self, ba_graph):
+        import networkx as nx
+
+        true_diameter = nx.diameter(to_networkx(ba_graph))
+        lower, upper = diameter_bounds(ba_graph)
+        assert lower <= true_diameter <= upper
+
+    def test_disconnected_rejected(self, disconnected_graph):
+        with pytest.raises(ValueError):
+            diameter_all_pairs(disconnected_graph)
+        with pytest.raises(ValueError):
+            diameter_ifub(disconnected_graph)
+        with pytest.raises(ValueError):
+            diameter_bounds(disconnected_graph)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_diameter(CSRGraph.empty(0))
+
+    def test_dispatch_threshold(self, mesh8):
+        # Both branches of exact_diameter agree.
+        assert exact_diameter(mesh8, all_pairs_threshold=1) == exact_diameter(
+            mesh8, all_pairs_threshold=10_000
+        )

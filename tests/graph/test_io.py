@@ -1,0 +1,76 @@
+"""Unit tests for edge-list / npz IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.io import (
+    load_edge_list,
+    load_npz,
+    parse_edge_list_text,
+    save_edge_list,
+    save_npz,
+)
+from repro.generators import mesh_graph
+
+
+class TestParse:
+    def test_basic(self):
+        edges = parse_edge_list_text("0 1\n1 2\n")
+        assert edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_comments_and_blank_lines(self):
+        text = "# a comment\n% another\n\n0\t1\n"
+        edges = parse_edge_list_text(text)
+        assert edges.tolist() == [[0, 1]]
+
+    def test_extra_columns_ignored(self):
+        edges = parse_edge_list_text("3 4 0.5 extra\n")
+        assert edges.tolist() == [[3, 4]]
+
+    def test_bad_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_edge_list_text("0\n")
+        with pytest.raises(ValueError):
+            parse_edge_list_text("a b\n")
+
+    def test_empty_text(self):
+        assert parse_edge_list_text("# only comments\n").shape == (0, 2)
+
+
+class TestRoundTrip:
+    def test_edge_list_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "graph.txt"
+        save_edge_list(tiny_graph, path, header="tiny test graph")
+        loaded, ids = load_edge_list(path)
+        assert loaded.num_nodes == tiny_graph.num_nodes
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert ids.tolist() == list(range(6))
+
+    def test_load_without_relabel(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 5\n5 3\n")
+        graph, ids = load_edge_list(path, relabel=False)
+        assert graph.num_nodes == 6
+        assert ids.tolist() == list(range(6))
+
+    def test_load_relabel_sparse_ids(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1000 2000\n2000 3000\n")
+        graph, ids = load_edge_list(path)
+        assert graph.num_nodes == 3
+        assert ids.tolist() == [1000, 2000, 3000]
+
+    def test_symmetrize_flag(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        graph, _ = load_edge_list(path, symmetrize=True)
+        assert graph.num_edges == 2
+
+    def test_npz_roundtrip(self, tmp_path):
+        graph = mesh_graph(6, 7)
+        path = tmp_path / "mesh.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert loaded == graph

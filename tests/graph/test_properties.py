@@ -1,0 +1,55 @@
+"""Unit tests for graph summaries and degree statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import (
+    average_distance_sample,
+    degree_statistics,
+    summarize_graph,
+)
+from repro.generators import mesh_graph, path_graph
+
+
+class TestDegreeStatistics:
+    def test_mesh_degrees(self):
+        stats = degree_statistics(mesh_graph(4, 4))
+        assert stats["min"] == 2
+        assert stats["max"] == 4
+        assert 2.0 < stats["mean"] < 4.0
+
+    def test_empty_graph(self):
+        stats = degree_statistics(CSRGraph.empty(0))
+        assert stats == {"min": 0, "max": 0, "mean": 0.0, "median": 0.0}
+
+
+class TestSummarize:
+    def test_exact_summary(self, mesh8):
+        summary = summarize_graph(mesh8, "mesh8", exact=True)
+        assert summary.num_nodes == 64
+        assert summary.num_edges == 112
+        assert summary.diameter == 14
+        assert summary.num_components == 1
+        assert summary.as_row()["diameter"] == 14
+
+    def test_approximate_summary(self, mesh8):
+        summary = summarize_graph(mesh8, "mesh8", exact=False)
+        assert summary.diameter is None
+        assert summary.diameter_lower <= 14 <= summary.diameter_upper
+        assert "&gt;" not in str(summary.as_row()["diameter"])
+
+    def test_disconnected_graph_no_diameter(self, disconnected_graph):
+        summary = summarize_graph(disconnected_graph, "disc")
+        assert summary.diameter is None
+        assert summary.num_components == 3
+
+
+class TestAverageDistance:
+    def test_path_average_positive(self):
+        value = average_distance_sample(path_graph(50), num_sources=5, seed=1)
+        assert value > 1.0
+
+    def test_empty_graph(self):
+        assert average_distance_sample(CSRGraph.empty(0)) == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the MR simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.engine import MREngine, identity_mapper
+from repro.mapreduce.model import MRConstraintViolation, MRModel
+
+
+def word_count_mapper(key, value):
+    for word in value.split():
+        yield (word, 1)
+
+
+def sum_reducer(key, values):
+    yield (key, sum(values))
+
+
+class TestRunRound:
+    def test_word_count(self):
+        engine = MREngine()
+        pairs = [(None, "a b a"), (None, "b c")]
+        result = dict(engine.run_round(pairs, sum_reducer, mapper=word_count_mapper))
+        assert result == {"a": 2, "b": 2, "c": 1}
+
+    def test_metrics_recorded(self):
+        engine = MREngine()
+        pairs = [(i % 3, i) for i in range(12)]
+        engine.run_round(pairs, sum_reducer)
+        assert engine.metrics.rounds == 1
+        assert engine.metrics.shuffled_pairs == 12
+        assert engine.metrics.max_reducer_input == 4
+
+    def test_identity_mapper(self):
+        engine = MREngine()
+        pairs = [(1, "x")]
+        out = engine.run_round(pairs, lambda k, vs: [(k, vs[0])], mapper=identity_mapper)
+        assert out == [(1, "x")]
+
+    def test_run_rounds_pipeline(self):
+        engine = MREngine()
+        stages = [
+            (word_count_mapper, sum_reducer),
+            (None, lambda k, vs: [("total", sum(vs))]),
+            (None, sum_reducer),
+        ]
+        out = engine.run_rounds([(None, "x y x z")], stages)
+        assert out == [("total", 4)]
+        assert engine.metrics.rounds == 3
+
+    def test_reset(self):
+        engine = MREngine()
+        engine.run_round([(0, 1)], sum_reducer)
+        engine.reset()
+        assert engine.metrics.rounds == 0
+
+
+class TestConstraints:
+    def test_local_memory_violation_raises(self):
+        model = MRModel(local_memory=2, enforce=True)
+        engine = MREngine(model)
+        pairs = [(0, i) for i in range(5)]
+        with pytest.raises(MRConstraintViolation):
+            engine.run_round(pairs, sum_reducer)
+
+    def test_global_memory_violation_raises(self):
+        model = MRModel(global_memory=3, enforce=True)
+        engine = MREngine(model)
+        pairs = [(i, i) for i in range(10)]
+        with pytest.raises(MRConstraintViolation):
+            engine.run_round(pairs, sum_reducer)
+
+    def test_record_mode_collects_violations(self):
+        model = MRModel(local_memory=1, enforce=False)
+        engine = MREngine(model)
+        engine.run_round([(0, 1), (0, 2)], sum_reducer)
+        assert model.num_violations == 1
+
+    def test_within_budget_no_violation(self):
+        model = MRModel(local_memory=10, global_memory=100, enforce=True)
+        engine = MREngine(model)
+        engine.run_round([(i % 4, i) for i in range(20)], sum_reducer)
+        assert model.num_violations == 0
+
+
+class TestChargeRounds:
+    def test_charge_accumulates(self):
+        engine = MREngine()
+        engine.charge_rounds(5, pairs_per_round=100, label="synthetic")
+        assert engine.metrics.rounds == 5
+        assert engine.metrics.shuffled_pairs == 500
+        assert engine.metrics.per_label["synthetic"] == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MREngine().charge_rounds(-1)

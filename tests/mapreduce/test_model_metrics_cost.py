@@ -1,0 +1,105 @@
+"""Unit tests for the MR model, metrics and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
+from repro.mapreduce.metrics import MRMetrics
+from repro.mapreduce.model import MRConstraintViolation, MRModel, rounds_for_primitive
+
+
+class TestMRModel:
+    def test_for_graph_scales(self):
+        model = MRModel.for_graph(num_nodes=10_000, num_edges=50_000)
+        assert model.global_memory > 100_000
+        assert model.local_memory < model.global_memory
+
+    def test_for_graph_invalid(self):
+        with pytest.raises(ValueError):
+            MRModel.for_graph(num_nodes=0, num_edges=0)
+
+    def test_check_round_enforcing(self):
+        model = MRModel(local_memory=5, enforce=True)
+        with pytest.raises(MRConstraintViolation):
+            model.check_round(max_reducer_input=6, live_pairs=1)
+
+    def test_check_round_recording(self):
+        model = MRModel(local_memory=5, global_memory=5, enforce=False)
+        model.check_round(max_reducer_input=6, live_pairs=10)
+        assert model.num_violations == 2
+
+    def test_unbounded_model_never_violates(self):
+        model = MRModel()
+        model.check_round(max_reducer_input=10**9, live_pairs=10**9)
+        assert model.num_violations == 0
+
+
+class TestRoundsForPrimitive:
+    def test_single_round_when_fits(self):
+        assert rounds_for_primitive(100, 1000) == 1
+        assert rounds_for_primitive(100, None) == 1
+
+    def test_log_scaling(self):
+        assert rounds_for_primitive(10_000, 10) == 4
+        assert rounds_for_primitive(10**6, 100) == 3
+
+    def test_small_inputs(self):
+        assert rounds_for_primitive(0, 10) == 1
+        assert rounds_for_primitive(1, 10) == 1
+
+
+class TestMetrics:
+    def test_record_and_merge(self):
+        a = MRMetrics()
+        a.record_round(pairs_shuffled=10, max_reducer_input=3, live_pairs=10)
+        b = MRMetrics()
+        b.record_round(pairs_shuffled=20, max_reducer_input=7, live_pairs=25, label="x")
+        a.merge(b)
+        assert a.rounds == 2
+        assert a.shuffled_pairs == 30
+        assert a.max_reducer_input == 7
+        assert a.max_live_pairs == 25
+        assert a.per_label["x"] == 1
+
+    def test_copy_independent(self):
+        a = MRMetrics()
+        a.record_round(pairs_shuffled=5, max_reducer_input=5, live_pairs=5)
+        b = a.copy()
+        b.record_round(pairs_shuffled=5, max_reducer_input=5, live_pairs=5)
+        assert a.rounds == 1 and b.rounds == 2
+
+    def test_as_dict_keys(self):
+        d = MRMetrics().as_dict()
+        assert set(d) == {
+            "rounds",
+            "shuffled_pairs",
+            "max_round_pairs",
+            "max_reducer_input",
+            "max_live_pairs",
+        }
+
+
+class TestCostModel:
+    def test_simulated_time_linear(self):
+        metrics = MRMetrics()
+        for _ in range(10):
+            metrics.record_round(pairs_shuffled=1000, max_reducer_input=10, live_pairs=1000)
+        cost = CostModel(round_latency=2.0, pair_cost=0.001)
+        assert cost.simulated_time(metrics) == pytest.approx(2.0 * 10 + 0.001 * 10_000)
+
+    def test_breakdown_sums_to_total(self):
+        metrics = MRMetrics()
+        metrics.record_round(pairs_shuffled=500, max_reducer_input=1, live_pairs=500)
+        parts = DEFAULT_COST_MODEL.breakdown(metrics)
+        assert parts["total_time"] == pytest.approx(
+            parts["round_time"] + parts["communication_time"]
+        )
+
+    def test_more_rounds_costs_more(self):
+        few, many = MRMetrics(), MRMetrics()
+        for _ in range(3):
+            few.record_round(pairs_shuffled=100, max_reducer_input=1, live_pairs=100)
+        for _ in range(30):
+            many.record_round(pairs_shuffled=100, max_reducer_input=1, live_pairs=100)
+        assert DEFAULT_COST_MODEL.simulated_time(many) > DEFAULT_COST_MODEL.simulated_time(few)

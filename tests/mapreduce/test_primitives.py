@@ -1,0 +1,79 @@
+"""Unit tests for the MR sorting / prefix-sum primitives (Fact 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.engine import MREngine
+from repro.mapreduce.model import MRModel
+from repro.mapreduce.primitives import mr_prefix_sum, mr_segmented_prefix_sum, mr_sort
+
+
+@pytest.fixture
+def engine():
+    return MREngine(MRModel(local_memory=16, enforce=False))
+
+
+class TestMRSort:
+    def test_sorts_integers(self, engine):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1000, size=200).tolist()
+        assert mr_sort(engine, values) == sorted(values)
+
+    def test_sorts_with_duplicates(self, engine):
+        values = [5, 1, 5, 3, 3, 3, 0]
+        assert mr_sort(engine, values) == sorted(values)
+
+    def test_empty_and_single(self, engine):
+        assert mr_sort(engine, []) == []
+        assert mr_sort(engine, [7]) == [7]
+
+    def test_rounds_charged(self, engine):
+        mr_sort(engine, list(range(100))[::-1])
+        assert engine.metrics.rounds >= 2
+
+    def test_respects_local_memory(self):
+        model = MRModel(local_memory=32, enforce=True)
+        engine = MREngine(model)
+        rng = np.random.default_rng(1)
+        values = rng.random(300).tolist()
+        result = mr_sort(engine, values)
+        assert result == sorted(values)
+        assert model.num_violations == 0
+
+
+class TestMRPrefixSum:
+    def test_matches_numpy(self, engine):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 50, size=150).astype(float).tolist()
+        result = mr_prefix_sum(engine, values)
+        assert np.allclose(result, np.cumsum(values))
+
+    def test_empty(self, engine):
+        assert mr_prefix_sum(engine, []) == []
+
+    def test_small_input_one_level(self, engine):
+        assert mr_prefix_sum(engine, [1.0, 2.0, 3.0]) == [1.0, 3.0, 6.0]
+
+    def test_large_input_multiple_levels(self):
+        engine = MREngine(MRModel(local_memory=8, enforce=False))
+        values = [1.0] * 200
+        result = mr_prefix_sum(engine, values)
+        assert result == [float(i + 1) for i in range(200)]
+        assert engine.metrics.rounds >= 4  # at least two levels up and down
+
+
+class TestSegmentedPrefixSum:
+    def test_restarts_at_segments(self, engine):
+        values = [1, 1, 1, 1, 1, 1]
+        segments = [0, 0, 1, 1, 1, 2]
+        result = mr_segmented_prefix_sum(engine, values, segments)
+        assert result == [1, 2, 1, 2, 3, 1]
+
+    def test_mismatched_lengths(self, engine):
+        with pytest.raises(ValueError):
+            mr_segmented_prefix_sum(engine, [1, 2], [0])
+
+    def test_empty(self, engine):
+        assert mr_segmented_prefix_sum(engine, [], []) == []

@@ -1,0 +1,81 @@
+"""Unit tests for the Baswana–Sen spanner sparsification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_graph, mesh_graph
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import bfs_distances
+from repro.sparsify.spanner import baswana_sen_spanner, spanner_stretch_bound
+
+
+class TestStretchBound:
+    def test_formula(self):
+        assert spanner_stretch_bound(1) == 1
+        assert spanner_stretch_bound(2) == 3
+        assert spanner_stretch_bound(4) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            spanner_stretch_bound(0)
+
+
+class TestSpannerStructure:
+    def test_is_subgraph(self, mesh20):
+        spanner = baswana_sen_spanner(mesh20, k=2, seed=0)
+        assert spanner.num_nodes == mesh20.num_nodes
+        for u, v in spanner.edges():
+            assert mesh20.has_edge(int(u), int(v))
+
+    def test_k1_returns_graph(self, mesh8):
+        assert baswana_sen_spanner(mesh8, k=1, seed=1) is mesh8
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        spanner = baswana_sen_spanner(g, k=2, seed=2)
+        assert spanner.num_nodes == 5
+        assert spanner.num_edges == 0
+
+    def test_invalid_k(self, mesh8):
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(mesh8, k=0)
+
+    def test_preserves_connectivity(self):
+        graph = erdos_renyi_graph(150, 0.08, seed=3)
+        spanner = baswana_sen_spanner(graph, k=2, seed=3)
+        original = connected_components(graph)
+        sparsified = connected_components(spanner)
+        # Two nodes connected in the graph stay connected in the spanner.
+        for component in np.unique(original):
+            members = np.flatnonzero(original == component)
+            assert len(np.unique(sparsified[members])) == 1
+
+    def test_sparsifies_dense_graph(self):
+        graph = erdos_renyi_graph(200, 0.25, seed=4)
+        spanner = baswana_sen_spanner(graph, k=2, seed=4)
+        assert spanner.num_edges < graph.num_edges
+
+
+class TestSpannerStretch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_three_spanner_stretch(self, seed):
+        """k=2 must give stretch <= 3 on every sampled node pair."""
+        graph = erdos_renyi_graph(120, 0.1, seed=seed)
+        spanner = baswana_sen_spanner(graph, k=2, seed=seed)
+        rng = np.random.default_rng(seed)
+        sources = rng.choice(graph.num_nodes, size=6, replace=False)
+        for s in sources:
+            original = bfs_distances(graph, int(s))
+            sparsified = bfs_distances(spanner, int(s))
+            reachable = original >= 0
+            assert np.all(sparsified[reachable] >= 0)
+            assert np.all(sparsified[reachable] <= 3 * original[reachable])
+
+    def test_mesh_stretch(self, mesh20):
+        spanner = baswana_sen_spanner(mesh20, k=2, seed=5)
+        original = bfs_distances(mesh20, 0)
+        sparsified = bfs_distances(spanner, 0)
+        assert np.all(sparsified <= 3 * np.maximum(original, 1))
