@@ -23,7 +23,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import multi_source_bfs
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
-from repro.mapreduce.engine import MREngine
+from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRModel
 from repro.utils.rng import SeedLike, as_rng
@@ -93,12 +93,15 @@ def mr_bfs_diameter(
     start: Optional[int] = None,
     model: Optional[MRModel] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
 ) -> BFSDiameterResult:
     """Double-sweep BFS with MR round / communication accounting.
 
     Each BFS level is charged as one round whose communication volume is the
     number of adjacency entries scanned at that level (so the aggregate over a
     full BFS is ``2m`` arc messages plus the frontier bookkeeping).
+    ``backend`` / ``num_shards`` select the engine's execution backend.
     """
     n = graph.num_nodes
     if n == 0:
@@ -106,7 +109,11 @@ def mr_bfs_diameter(
     rng = as_rng(seed)
     if start is None:
         start = int(rng.integers(0, n))
-    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
 
     degrees = graph.degree()
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
-from repro.mapreduce.engine import MREngine
+from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRModel
 from repro.utils.rng import SeedLike, as_rng
@@ -106,6 +106,8 @@ def hadi_diameter(
     seed: SeedLike = None,
     model: Optional[MRModel] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
 ) -> HADIResult:
     """Estimate the diameter of ``graph`` with HADI/ANF.
 
@@ -119,12 +121,19 @@ def hadi_diameter(
     tolerance:
         Relative increase of the neighborhood function below which the
         process is considered saturated.
+    backend / num_shards:
+        Execution backend of the metering engine (metrics are
+        backend-independent).
     """
     n = graph.num_nodes
     if n == 0:
         raise ValueError("graph must be non-empty")
     rng = as_rng(seed)
-    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
     limit = max_iterations if max_iterations is not None else n
 
     sketches = make_fm_sketches(n, num_registers=num_registers, rng=rng)

@@ -31,9 +31,12 @@ import numpy as np
 from repro.core.clustering import Clustering, IterationStats
 from repro.core.growth import ClusterGrowth
 from repro.graph.csr import CSRGraph
+from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
+from repro.mapreduce.engine import BackendSpec, MREngine
+from repro.mapreduce.model import MRModel
 from repro.utils.rng import SeedLike, as_rng
 
-__all__ = ["mpx_decomposition", "mpx_with_target_clusters"]
+__all__ = ["mpx_decomposition", "mpx_with_target_clusters", "mr_mpx_decomposition"]
 
 
 def mpx_decomposition(graph: CSRGraph, beta: float, *, seed: SeedLike = None) -> Clustering:
@@ -104,6 +107,46 @@ def mpx_decomposition(graph: CSRGraph, beta: float, *, seed: SeedLike = None) ->
             growth.cover_remaining_as_singletons()
             break
     return growth.to_clustering(algorithm="mpx")
+
+
+def mr_mpx_decomposition(
+    graph: CSRGraph,
+    beta: float,
+    *,
+    seed: SeedLike = None,
+    model: Optional[MRModel] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
+):
+    """Run MPX and account for its execution in the MR(M_G, M_L) model.
+
+    MPX is level-synchronous like CLUSTER: every integer round is one
+    activation/growing step, i.e. a constant number of MR rounds (Lemma 3
+    applies to its sort/prefix-sum formulation as well).  The execution trace
+    recorded by :class:`~repro.core.growth.ClusterGrowth` is replayed against
+    an :class:`~repro.mapreduce.engine.MREngine` configured with the chosen
+    execution backend, exactly like the CLUSTER driver in
+    :func:`repro.core.mr_algorithms.mr_cluster_decomposition`.
+
+    Returns an :class:`repro.core.mr_algorithms.MRExecutionReport` (with
+    ``estimate=None``).
+    """
+    from repro.core.mr_algorithms import MRExecutionReport, charge_clustering_rounds
+
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
+    clustering = mpx_decomposition(graph, beta, seed=seed)
+    charge_clustering_rounds(engine, clustering)
+    return MRExecutionReport(
+        estimate=None,
+        clustering=clustering,
+        metrics=engine.metrics,
+        simulated_time=cost_model.simulated_time(engine.metrics),
+    )
 
 
 def mpx_with_target_clusters(

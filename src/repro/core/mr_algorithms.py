@@ -32,7 +32,7 @@ from repro.core.clustering import Clustering
 from repro.core.diameter import DiameterEstimate, estimate_diameter
 from repro.graph.csr import CSRGraph
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
-from repro.mapreduce.engine import MREngine
+from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRModel, rounds_for_primitive
 from repro.utils.rng import SeedLike
@@ -129,11 +129,17 @@ def mr_cluster_decomposition(
     seed: SeedLike = None,
     model: Optional[MRModel] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
 ) -> MRExecutionReport:
     """Run CLUSTER(τ) and account for its execution in the MR model."""
     from repro.core.cluster import cluster
 
-    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
     clustering = cluster(graph, tau, seed=seed)
     charge_clustering_rounds(engine, clustering)
     return MRExecutionReport(
@@ -154,14 +160,22 @@ def mr_estimate_diameter(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     use_cluster2: bool = False,
     enforce_local_memory: bool = False,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
 ) -> MRExecutionReport:
     """Full decomposition-based diameter estimation under MR accounting.
 
     This is the driver behind the CLUSTER columns of the Table 4 and Figure 1
     reproductions: the returned report carries both the diameter estimate and
-    the rounds / communication / simulated-time metrics.
+    the rounds / communication / simulated-time metrics.  ``backend`` /
+    ``num_shards`` select the engine's execution backend (metrics are
+    backend-independent by construction).
     """
-    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
     estimate = estimate_diameter(
         graph,
         tau=tau,

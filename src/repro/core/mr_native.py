@@ -38,7 +38,7 @@ import numpy as np
 from repro.core.cluster import selection_probability, uncovered_threshold
 from repro.core.clustering import Clustering, IterationStats
 from repro.graph.csr import CSRGraph
-from repro.mapreduce.engine import MREngine
+from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.model import MRModel
 from repro.utils.rng import SeedLike, as_rng, random_subset_mask
 
@@ -112,6 +112,8 @@ def mr_cluster_native(
     seed: SeedLike = None,
     model: Optional[MRModel] = None,
     max_iterations: Optional[int] = None,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
 ) -> Tuple[Clustering, MREngine]:
     """Run CLUSTER(τ) with every growing step executed as an MR round.
 
@@ -121,11 +123,19 @@ def mr_cluster_native(
     count, the centers and the number of growing steps coincide with the
     in-memory run; per-node growth distances are pointwise at most those of
     the in-memory run because the reducer accepts the lightest claim.
+
+    ``backend`` / ``num_shards`` select how the rounds are physically executed
+    (:mod:`repro.mapreduce.backends`); all backends produce the same clustering
+    and the same metrics.
     """
     if tau < 1:
         raise ValueError(f"tau must be a positive integer, got {tau}")
     rng = as_rng(seed)
-    engine = MREngine(model=model if model is not None else MRModel(enforce=False))
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
     n = graph.num_nodes
     assignment = np.full(n, -1, dtype=np.int64)
     distance = np.full(n, -1, dtype=np.int64)

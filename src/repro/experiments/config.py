@@ -18,6 +18,7 @@ whole harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.datasets import DATASETS
 from repro.mapreduce.cost import CostModel
@@ -43,6 +44,11 @@ class ExperimentConfig:
         FM registers per node for the HADI baseline.
     tail_multipliers:
         The ``c`` values of Figure 1 (tail length = c × diameter).
+    mr_backend / mr_shards:
+        Execution backend (``serial`` / ``vectorized`` / ``process``) and
+        shard count used by every MR engine the harness creates.  Metrics and
+        results are backend-independent; the choice only affects wall-clock
+        time of the harness itself.
     """
 
     seed: int = 20150613
@@ -55,6 +61,8 @@ class ExperimentConfig:
     cost_model: CostModel = CostModel(round_latency=1.0, pair_cost=5.0e-5)
     hadi_registers: int = 16
     tail_multipliers: tuple = (0, 1, 2, 4, 6, 8, 10)
+    mr_backend: str = "serial"
+    mr_shards: Optional[int] = None
 
     def divisor(self, regime: str) -> int:
         """Granularity divisor for a dataset regime."""

@@ -47,9 +47,20 @@ def run_figure1(
         target = granularity_for(name, base.num_nodes, coarse=False, config=config)
         for c, graph in sorted(family.items()):
             ours = mr_estimate_diameter(
-                graph, target_clusters=target, seed=rng, cost_model=config.cost_model
+                graph,
+                target_clusters=target,
+                seed=rng,
+                cost_model=config.cost_model,
+                backend=config.mr_backend,
+                num_shards=config.mr_shards,
             )
-            bfs = mr_bfs_diameter(graph, seed=rng, cost_model=config.cost_model)
+            bfs = mr_bfs_diameter(
+                graph,
+                seed=rng,
+                cost_model=config.cost_model,
+                backend=config.mr_backend,
+                num_shards=config.mr_shards,
+            )
             rows.append(
                 {
                     "dataset": name,

@@ -16,16 +16,31 @@ a captured run side by side with the published numbers.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import render_csv, render_table
 from repro.experiments import ablations, figure1, table1, table2, table3, table4
-from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.mapreduce.backends import available_backends
 from repro.utils.logging import enable_verbose
 
 __all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+
+def _config_for(args) -> ExperimentConfig:
+    """The harness config with the CLI's backend selection applied."""
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
+    if backend is None and shards is None:
+        return DEFAULT_CONFIG
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        mr_backend=backend if backend is not None else DEFAULT_CONFIG.mr_backend,
+        mr_shards=shards if shards is not None else DEFAULT_CONFIG.mr_shards,
+    )
 
 
 def _run_table1(args) -> List[Dict]:
@@ -42,13 +57,16 @@ def _run_table3(args) -> List[Dict]:
 
 def _run_table4(args) -> List[Dict]:
     return table4.run_table4(
-        scale=args.scale, datasets=args.datasets, include_hadi=not args.no_hadi
+        scale=args.scale,
+        datasets=args.datasets,
+        include_hadi=not args.no_hadi,
+        config=_config_for(args),
     )
 
 
 def _run_figure1(args) -> List[Dict]:
     datasets = args.datasets if args.datasets else ("twitter-like", "livejournal-like")
-    return figure1.run_figure1(scale=args.scale, datasets=datasets)
+    return figure1.run_figure1(scale=args.scale, datasets=datasets, config=_config_for(args))
 
 
 def _run_ablations(args) -> List[Dict]:
@@ -87,6 +105,13 @@ def run_experiment(name: str, args) -> List[Dict]:
     return EXPERIMENTS[name](args)
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -103,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to these dataset names")
     parser.add_argument("--no-hadi", action="store_true",
                         help="skip the HADI baseline in table4 (it is slow by design)")
+    parser.add_argument("--backend", default=None, choices=available_backends(),
+                        help="MR execution backend for the metered drivers "
+                             "(default: serial; results are backend-independent)")
+    parser.add_argument("--shards", type=_positive_int, default=None,
+                        help="shard count for the process backend (default: CPU count)")
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a text table")
     parser.add_argument("--verbose", action="store_true", help="enable progress logging")
     return parser

@@ -53,9 +53,20 @@ def run_table4(
         target = granularity_for(name, graph.num_nodes, coarse=False, config=config)
 
         ours = mr_estimate_diameter(
-            graph, target_clusters=target, seed=rng, cost_model=config.cost_model
+            graph,
+            target_clusters=target,
+            seed=rng,
+            cost_model=config.cost_model,
+            backend=config.mr_backend,
+            num_shards=config.mr_shards,
         )
-        bfs = mr_bfs_diameter(graph, seed=rng, cost_model=config.cost_model)
+        bfs = mr_bfs_diameter(
+            graph,
+            seed=rng,
+            cost_model=config.cost_model,
+            backend=config.mr_backend,
+            num_shards=config.mr_shards,
+        )
 
         row: Dict = {
             "dataset": name,
@@ -76,6 +87,8 @@ def run_table4(
                 seed=rng,
                 cost_model=config.cost_model,
                 max_iterations=4 * max(1, true_diameter),
+                backend=config.mr_backend,
+                num_shards=config.mr_shards,
             )
             row.update(
                 {

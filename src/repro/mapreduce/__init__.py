@@ -1,5 +1,14 @@
-"""MR(M_G, M_L) MapReduce simulation substrate (model, engine, primitives)."""
+"""MR(M_G, M_L) MapReduce simulation substrate (model, engine, backends, primitives)."""
 
+from repro.mapreduce.backends import (
+    ArrayPairs,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+)
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import MREngine, identity_mapper
 from repro.mapreduce.metrics import MRMetrics
@@ -7,6 +16,13 @@ from repro.mapreduce.model import MRConstraintViolation, MRModel, rounds_for_pri
 from repro.mapreduce.primitives import mr_prefix_sum, mr_segmented_prefix_sum, mr_sort
 
 __all__ = [
+    "ArrayPairs",
+    "ExecutionBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "MREngine",

@@ -11,6 +11,15 @@ every round the engine
   and
 * checks the M_L / M_G constraints via :class:`~repro.mapreduce.model.MRModel`.
 
+The physical execution of the shuffle+reduce is pluggable
+(:mod:`repro.mapreduce.backends`): ``backend="serial"`` is the dict-based
+reference, ``backend="vectorized"`` groups with NumPy argsort (and accepts the
+unflattened :class:`~repro.mapreduce.backends.ArrayPairs` batches),
+``backend="process"`` hash-shards the shuffle across a
+``multiprocessing.Pool``.  All backends are bit-compatible: identical output
+pairs and identical metrics, so round/communication numbers reported by the
+experiment harness do not depend on the backend choice.
+
 The MR drivers of the core algorithms (:mod:`repro.core.mr_algorithms`) and
 of the baselines are built on this engine, so the rounds / communication
 volumes reported in the Table 4 and Figure 1 reproductions are measured, not
@@ -19,9 +28,14 @@ asserted.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.mapreduce.backends import (
+    ArrayPairs,
+    ExecutionBackend,
+    PairBatch,
+    get_backend,
+)
 from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRModel
 
@@ -30,6 +44,7 @@ Value = object
 Pair = Tuple[Key, Value]
 Mapper = Callable[[Key, Value], Iterable[Pair]]
 Reducer = Callable[[Key, List[Value]], Iterable[Pair]]
+BackendSpec = Union[str, ExecutionBackend, None]
 
 __all__ = ["MREngine", "identity_mapper"]
 
@@ -47,61 +62,78 @@ class MREngine:
     model:
         The MR(M_G, M_L) instance to validate against.  Defaults to an
         unbounded model (no constraint failures, metrics still collected).
+    backend:
+        Execution backend for the shuffle+reduce phase: a name from
+        :func:`repro.mapreduce.backends.available_backends` (``"serial"``,
+        ``"vectorized"``, ``"process"``) or an
+        :class:`~repro.mapreduce.backends.ExecutionBackend` instance.
+        Backends are bit-compatible; pick ``vectorized`` for large
+        single-machine workloads, ``process`` to use multiple cores on
+        few-round workloads with expensive reducers (it forks a fresh pool
+        every round, so per-round overhead is tens of milliseconds).
+    num_shards:
+        Shard count for the ``process`` backend (defaults to the CPU count);
+        ignored by the other backends.
     """
 
-    def __init__(self, model: Optional[MRModel] = None) -> None:
+    def __init__(
+        self,
+        model: Optional[MRModel] = None,
+        *,
+        backend: BackendSpec = "serial",
+        num_shards: Optional[int] = None,
+    ) -> None:
         self.model = model if model is not None else MRModel(enforce=False)
         self.metrics = MRMetrics()
+        self.backend = get_backend(backend, num_shards=num_shards)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active execution backend."""
+        return self.backend.name
 
     # ------------------------------------------------------------------ #
     def run_round(
         self,
-        pairs: Sequence[Pair],
+        pairs: PairBatch,
         reducer: Reducer,
         *,
         mapper: Optional[Mapper] = None,
         label: str = "round",
     ) -> List[Pair]:
-        """Execute one map → shuffle → reduce round and return the output pairs."""
-        mapped: List[Pair] = []
-        if mapper is None:
-            mapped = list(pairs)
-        else:
-            for key, value in pairs:
-                mapped.extend(mapper(key, value))
+        """Execute one map → shuffle → reduce round and return the output pairs.
 
-        groups: Dict[Key, List[Value]] = defaultdict(list)
-        for key, value in mapped:
-            groups[key].append(value)
-
-        max_reducer_input = max((len(v) for v in groups.values()), default=0)
-
-        output: List[Pair] = []
-        for key, values in groups.items():
-            output.extend(reducer(key, values))
-
-        live_pairs = max(len(mapped), len(output))
+        ``pairs`` is either a sequence of ``(key, value)`` tuples or an
+        :class:`~repro.mapreduce.backends.ArrayPairs` batch (which the
+        vectorized backend consumes without flattening).
+        """
+        outcome = self.backend.execute_round(pairs, reducer, mapper)
+        live_pairs = max(outcome.pairs_shuffled, len(outcome.output))
         self.metrics.record_round(
-            pairs_shuffled=len(mapped),
-            max_reducer_input=max_reducer_input,
+            pairs_shuffled=outcome.pairs_shuffled,
+            max_reducer_input=outcome.max_reducer_input,
             live_pairs=live_pairs,
             label=label,
         )
-        self.model.check_round(max_reducer_input=max_reducer_input, live_pairs=live_pairs)
-        return output
+        self.model.check_round(
+            max_reducer_input=outcome.max_reducer_input, live_pairs=live_pairs
+        )
+        return outcome.output
 
     def run_rounds(
         self,
-        pairs: Sequence[Pair],
+        pairs: PairBatch,
         stages: Sequence[Tuple[Optional[Mapper], Reducer]],
         *,
         label: str = "round",
     ) -> List[Pair]:
         """Execute a fixed pipeline of rounds, feeding each stage's output to the next."""
-        current = list(pairs)
+        current: PairBatch = pairs if isinstance(pairs, ArrayPairs) else list(pairs)
         for mapper, reducer in stages:
             current = self.run_round(current, reducer, mapper=mapper, label=label)
-        return current
+        if isinstance(current, ArrayPairs):  # zero stages executed
+            return current.to_pairs()
+        return list(current)
 
     # ------------------------------------------------------------------ #
     def charge_rounds(self, count: int, *, pairs_per_round: int = 0, label: str = "charged") -> None:

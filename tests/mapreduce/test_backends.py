@@ -1,0 +1,258 @@
+"""Cross-backend equivalence suite for the MR execution backends.
+
+Every backend must be bit-compatible with the serial reference: identical
+output pairs (same order) and identical :class:`MRMetrics` for any workload.
+This is what allows the experiment harness to treat the backend as a pure
+performance knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mr_native import mr_cluster_native
+from repro.generators import mesh_graph
+from repro.mapreduce.backends import (
+    ArrayPairs,
+    ProcessBackend,
+    SerialBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+)
+from repro.mapreduce.engine import MREngine
+from repro.mapreduce.model import MRConstraintViolation, MRModel
+
+BACKENDS = ("serial", "vectorized", "process")
+
+
+def sum_reducer(key, values):
+    yield (key, sum(values))
+
+
+def count_reducer(key, values):
+    yield (key, len(values))
+
+
+def fanout_mapper(key, value):
+    yield (key, value)
+    yield (key + 1, value * 2)
+
+
+def run_all_backends(pairs, reducer, *, mapper=None, num_shards=3):
+    """Execute one round on every backend; return {name: (output, metrics)}."""
+    results = {}
+    for name in BACKENDS:
+        engine = MREngine(backend=name, num_shards=num_shards)
+        output = engine.run_round(pairs, reducer, mapper=mapper)
+        results[name] = (output, engine.metrics.as_dict())
+    return results
+
+
+def assert_all_equal(results):
+    reference = results["serial"]
+    for name, result in results.items():
+        assert result[0] == reference[0], f"{name} output differs from serial"
+        assert result[1] == reference[1], f"{name} metrics differ from serial"
+
+
+# ---------------------------------------------------------------------- #
+# Random-workload property tests
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_int_workloads_identical(seed):
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, 400))
+    keys = rng.integers(0, max(2, size // 4), size=size).tolist()
+    values = rng.integers(-100, 100, size=size).tolist()
+    results = run_all_backends(list(zip(keys, values)), sum_reducer)
+    assert_all_equal(results)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_workloads_with_mapper_identical(seed):
+    rng = np.random.default_rng(100 + seed)
+    size = int(rng.integers(1, 200))
+    pairs = list(zip(rng.integers(0, 20, size=size).tolist(), rng.integers(0, 9, size=size).tolist()))
+    results = run_all_backends(pairs, sum_reducer, mapper=fanout_mapper)
+    assert_all_equal(results)
+
+
+def test_string_keys_identical():
+    rng = np.random.default_rng(7)
+    words = ["alpha", "beta", "gamma", "delta", "a", "zz"]
+    pairs = [(words[int(i)], int(v)) for i, v in zip(rng.integers(0, len(words), 300), rng.integers(0, 50, 300))]
+    results = run_all_backends(pairs, sum_reducer)
+    assert_all_equal(results)
+
+
+def test_tuple_keys_fall_back_and_stay_identical():
+    # Tuple keys defeat the argsort fast path; the vectorized backend must
+    # transparently fall back to dict grouping and still match bit-for-bit.
+    rng = np.random.default_rng(8)
+    pairs = [((int(k) % 3, int(k) % 5), int(v)) for k, v in zip(rng.integers(0, 30, 200), rng.integers(0, 9, 200))]
+    results = run_all_backends(pairs, sum_reducer)
+    assert_all_equal(results)
+
+
+def test_mixed_type_keys_identical():
+    pairs = [(None, 1), ("x", 2), (3, 4), (None, 5), ((1, 2), 6), ("x", 7)]
+    results = run_all_backends(pairs, count_reducer)
+    assert_all_equal(results)
+
+
+def test_str_and_int_keys_stay_distinct():
+    # np.asarray([3, "3"]) coerces to one string dtype; the vectorized backend
+    # must not let that merge keys a dict keeps distinct.
+    pairs = [("3", 1), (3, 2), ("3", 4), (3, 8)]
+    results = run_all_backends(pairs, sum_reducer)
+    assert_all_equal(results)
+    assert results["serial"][0] == [("3", 5), (3, 10)]
+
+
+def test_bytes_and_str_keys_stay_distinct():
+    pairs = [(b"a", 1), ("a", 2), (b"a", 4)]
+    results = run_all_backends(pairs, sum_reducer)
+    assert_all_equal(results)
+    assert results["serial"][0] == [(b"a", 5), ("a", 2)]
+
+
+def test_bool_and_int_keys_merge_like_dict():
+    # hash(True) == hash(1): a dict groups them; every backend must agree.
+    pairs = [(True, 1), (1, 2), (0, 4), (False, 8)]
+    results = run_all_backends(pairs, sum_reducer)
+    assert_all_equal(results)
+    assert results["serial"][0] == [(True, 3), (0, 12)]
+
+
+def test_numpy_array_values_identical():
+    # Values that are NumPy arrays (HADI-sketch-like payloads) must survive
+    # pickling through the process backend and grouping in the others.
+    rng = np.random.default_rng(9)
+    pairs = [(int(k), rng.integers(0, 2**32, size=4, dtype=np.uint64)) for k in rng.integers(0, 6, 40)]
+
+    def or_reducer(key, values):
+        merged = values[0]
+        for value in values[1:]:
+            merged = merged | value
+        yield (key, merged.tolist())
+
+    results = run_all_backends(pairs, or_reducer)
+    assert_all_equal(results)
+
+
+def test_sorted_outputs_identical_on_large_random_workload():
+    rng = np.random.default_rng(10)
+    pairs = list(zip(rng.integers(0, 500, 5000).tolist(), rng.integers(0, 1000, 5000).tolist()))
+    results = run_all_backends(pairs, sum_reducer, num_shards=5)
+    assert_all_equal(results)
+    reference = sorted(results["serial"][0])
+    for name, (output, _) in results.items():
+        assert sorted(output) == reference, name
+
+
+# ---------------------------------------------------------------------- #
+# ArrayPairs (unflattened) fast path
+# ---------------------------------------------------------------------- #
+def test_array_pairs_identical_across_backends():
+    rng = np.random.default_rng(11)
+    batch = ArrayPairs(rng.integers(0, 40, 600), rng.integers(0, 1000, 600))
+    results = run_all_backends(batch, sum_reducer)
+    assert_all_equal(results)
+
+
+def test_array_pairs_matches_flattened_input():
+    rng = np.random.default_rng(12)
+    batch = ArrayPairs(rng.integers(0, 25, 300), rng.integers(0, 9, 300))
+    engine_batch = MREngine(backend="vectorized")
+    engine_flat = MREngine(backend="vectorized")
+    out_batch = engine_batch.run_round(batch, sum_reducer)
+    out_flat = engine_flat.run_round(batch.to_pairs(), sum_reducer)
+    assert out_batch == out_flat
+    assert engine_batch.metrics.as_dict() == engine_flat.metrics.as_dict()
+
+
+def test_run_rounds_with_array_pairs_and_no_stages():
+    batch = ArrayPairs(np.array([1, 2]), np.array([3, 4]))
+    assert MREngine().run_rounds(batch, []) == [(1, 3), (2, 4)]
+
+
+def test_run_rounds_with_array_pairs_pipeline():
+    batch = ArrayPairs(np.array([0, 1, 0]), np.array([1, 2, 3]))
+    engine = MREngine(backend="vectorized")
+    out = engine.run_rounds(batch, [(None, sum_reducer), (None, count_reducer)])
+    assert out == [(0, 1), (1, 1)]
+    assert engine.metrics.rounds == 2
+
+
+def test_array_pairs_validation():
+    with pytest.raises(ValueError):
+        ArrayPairs(np.zeros((2, 2)), np.zeros(2))
+    with pytest.raises(ValueError):
+        ArrayPairs(np.zeros(3), np.zeros(2))
+
+
+# ---------------------------------------------------------------------- #
+# Constraint checking behaves identically everywhere
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_local_memory_violation_raises_on_every_backend(backend):
+    engine = MREngine(MRModel(local_memory=2, enforce=True), backend=backend, num_shards=2)
+    with pytest.raises(MRConstraintViolation):
+        engine.run_round([(0, i) for i in range(5)], sum_reducer)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_global_memory_violation_raises_on_every_backend(backend):
+    engine = MREngine(MRModel(global_memory=3, enforce=True), backend=backend, num_shards=2)
+    with pytest.raises(MRConstraintViolation):
+        engine.run_round([(i, i) for i in range(10)], sum_reducer)
+
+
+# ---------------------------------------------------------------------- #
+# Whole-algorithm equivalence: the native MR CLUSTER execution
+# ---------------------------------------------------------------------- #
+def test_mr_cluster_native_identical_across_backends():
+    graph = mesh_graph(12, 12)
+    reference = None
+    for backend in BACKENDS:
+        clustering, engine = mr_cluster_native(graph, 2, seed=7, backend=backend, num_shards=2)
+        snapshot = (
+            clustering.assignment.tolist(),
+            clustering.centers.tolist(),
+            clustering.distance.tolist(),
+            engine.metrics.as_dict(),
+        )
+        if reference is None:
+            reference = snapshot
+        else:
+            assert snapshot == reference, backend
+    assert reference[3]["rounds"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# Backend registry
+# ---------------------------------------------------------------------- #
+def test_available_backends():
+    assert available_backends() == ["process", "serial", "vectorized"]
+
+
+def test_get_backend_resolution():
+    assert isinstance(get_backend(None), SerialBackend)
+    assert isinstance(get_backend("serial"), SerialBackend)
+    assert isinstance(get_backend("vectorized"), VectorizedBackend)
+    process = get_backend("process", num_shards=7)
+    assert isinstance(process, ProcessBackend)
+    assert process.num_shards == 7
+    instance = VectorizedBackend()
+    assert get_backend(instance) is instance
+    with pytest.raises(ValueError):
+        get_backend("spark")
+    with pytest.raises(ValueError):
+        ProcessBackend(num_shards=0)
+
+
+def test_engine_exposes_backend_name():
+    assert MREngine(backend="vectorized").backend_name == "vectorized"
+    assert MREngine().backend_name == "serial"

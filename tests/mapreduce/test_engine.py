@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.mapreduce.backends import available_backends
 from repro.mapreduce.engine import MREngine, identity_mapper
 from repro.mapreduce.model import MRConstraintViolation, MRModel
+
+ALL_BACKENDS = available_backends()
 
 
 def word_count_mapper(key, value):
@@ -82,6 +85,83 @@ class TestConstraints:
         engine = MREngine(model)
         engine.run_round([(i % 4, i) for i in range(20)], sum_reducer)
         assert model.num_violations == 0
+
+
+class TestEdgeCases:
+    """Degenerate rounds must behave identically on every backend."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_empty_pair_list(self, backend):
+        engine = MREngine(backend=backend, num_shards=2)
+        output = engine.run_round([], sum_reducer)
+        assert output == []
+        assert engine.metrics.rounds == 1
+        assert engine.metrics.shuffled_pairs == 0
+        assert engine.metrics.max_reducer_input == 0
+        assert engine.metrics.max_live_pairs == 0
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_mapper_that_emits_nothing(self, backend):
+        def silent_mapper(key, value):
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        engine = MREngine(backend=backend, num_shards=2)
+        output = engine.run_round([(0, 1), (1, 2)], sum_reducer, mapper=silent_mapper)
+        assert output == []
+        assert engine.metrics.rounds == 1
+        assert engine.metrics.shuffled_pairs == 0
+        assert engine.metrics.max_reducer_input == 0
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_reducer_that_emits_nothing(self, backend):
+        def drop_all(key, values):
+            return []
+
+        engine = MREngine(backend=backend, num_shards=2)
+        output = engine.run_round([(0, 1), (0, 2), (1, 3)], drop_all)
+        assert output == []
+        assert engine.metrics.shuffled_pairs == 3
+        assert engine.metrics.max_reducer_input == 2
+        # Live pairs = max(input, output): inputs were alive during the round.
+        assert engine.metrics.max_live_pairs == 3
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_reducer_exception_propagates(self, backend):
+        def angry_reducer(key, values):
+            raise ValueError(f"boom on key {key}")
+            yield  # pragma: no cover
+
+        engine = MREngine(backend=backend, num_shards=2)
+        with pytest.raises(ValueError, match="boom on key"):
+            engine.run_round([(0, 1), (1, 2), (2, 3)], angry_reducer)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_local_memory_enforced(self, backend):
+        engine = MREngine(MRModel(local_memory=3, enforce=True), backend=backend, num_shards=2)
+        # Within budget: fine.
+        engine.run_round([(0, i) for i in range(3)], sum_reducer)
+        # One pair over budget: raises and records the violation.
+        with pytest.raises(MRConstraintViolation, match="exceeding M_L"):
+            engine.run_round([(0, i) for i in range(4)], sum_reducer)
+        assert engine.model.num_violations == 1
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_global_memory_enforced(self, backend):
+        engine = MREngine(MRModel(global_memory=5, enforce=True), backend=backend, num_shards=2)
+        engine.run_round([(i, i) for i in range(5)], sum_reducer)
+        with pytest.raises(MRConstraintViolation, match="exceed M_G"):
+            engine.run_round([(i, i) for i in range(6)], sum_reducer)
+        assert engine.model.num_violations == 1
+
+    def test_global_memory_counts_output_when_larger(self):
+        def fanout_reducer(key, values):
+            for i in range(4):
+                yield (key, i)
+
+        engine = MREngine(MRModel(global_memory=3, enforce=True))
+        with pytest.raises(MRConstraintViolation):
+            engine.run_round([(0, 1)], fanout_reducer)
 
 
 class TestChargeRounds:
