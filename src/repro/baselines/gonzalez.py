@@ -2,7 +2,11 @@
 
 Gonzalez (1985) and Hochbaum–Shmoys (1985) give 2-approximations for metric
 k-center; the graph variant repeatedly adds the node farthest from the current
-center set (one multi-source BFS per added center).  It is the natural
+center set.  Both the farthest-point selection and the final nearest-center
+evaluation drive the shared :class:`~repro.core.growth_engine.GrowthEngine`
+(one single-source :func:`~repro.core.growth_engine.multi_source_growth` run
+per added center; see
+:func:`~repro.core.growth_engine.farthest_point_centers`).  It is the natural
 sequential quality baseline for the paper's CLUSTER-based k-center
 approximation (Theorem 2): no decomposition-based parallel algorithm can beat
 it on solution quality, so comparing against it bounds the practical
@@ -15,9 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.growth_engine import farthest_point_centers
 from repro.core.kcenter import KCenterResult, evaluate_centers
 from repro.graph.csr import CSRGraph
-from repro.graph.traversal import multi_source_bfs
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["gonzalez_kcenter", "random_centers_kcenter"]
@@ -37,8 +41,8 @@ def gonzalez_kcenter(
 
     Notes
     -----
-    Runs ``k`` multi-source BFS traversals, i.e. ``O(k (n + m))`` work and, in
-    a round-synchronous distributed setting, ``Θ(k ∆)`` rounds — which is why
+    Runs ``k`` multi-source growths, i.e. ``O(k (n + m))`` work and, in a
+    round-synchronous distributed setting, ``Θ(k ∆)`` rounds — which is why
     the paper needs a decomposition-based approach for the parallel setting.
     """
     n = graph.num_nodes
@@ -51,24 +55,7 @@ def gonzalez_kcenter(
     rng = as_rng(seed)
     if first_center is None:
         first_center = int(rng.integers(0, n))
-    centers = [int(first_center)]
-    distances = multi_source_bfs(graph, centers).distances
-    for _ in range(k - 1):
-        reachable = distances >= 0
-        if not np.any(reachable):
-            break
-        # Farthest reachable node from the current center set; unreachable
-        # nodes (other components) take priority so every component gets a
-        # center as soon as possible.
-        unreachable = np.flatnonzero(~reachable)
-        if unreachable.size:
-            next_center = int(unreachable[0])
-        else:
-            next_center = int(np.argmax(distances))
-        centers.append(next_center)
-        new_dist = multi_source_bfs(graph, [next_center]).distances
-        merge_mask = (distances < 0) | ((new_dist >= 0) & (new_dist < distances))
-        distances = np.where(merge_mask, new_dist, distances)
+    centers = farthest_point_centers(graph, k, first_center)
     return evaluate_centers(graph, centers, algorithm="gonzalez")
 
 

@@ -12,13 +12,16 @@ controls the *number of inter-cluster edges* well, but — unlike CLUSTER — it
 does not minimize the maximum radius for a given number of clusters, which is
 exactly what the experiments demonstrate.
 
-The implementation below follows the level-synchronous integer-time variant
-used in practice (and in the paper's own Spark reimplementation):
-
-* round ``t`` activates (as singleton clusters) all still-uncovered nodes
-  whose start time ``δ_max − δ_u`` has arrived (i.e. is < t + 1);
-* every round all active clusters grow one hop, disjointly, with the
-  fractional parts of the shifts used to break ties deterministically.
+The implementation follows the level-synchronous integer-time variant used in
+practice (and in the paper's own Spark reimplementation): it is the shared
+:class:`~repro.core.growth_engine.GrowthEngine` driven by a
+:class:`~repro.core.growth_engine.ShiftActivationSchedule` — round ``t``
+activates (as singleton clusters) all still-uncovered nodes whose start time
+``δ_max − δ_u`` has arrived, then every active cluster grows one hop,
+disjointly.  Contested nodes go to the first claimant in the adjacency scan
+(the default, matching the historical behaviour of this module); pass
+``tie_break="shifted-start"`` to resolve them toward the cluster whose center
+started earliest, the continuous-time MPX rule.
 """
 
 from __future__ import annotations
@@ -26,10 +29,12 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-import numpy as np
-
-from repro.core.clustering import Clustering, IterationStats
-from repro.core.growth import ClusterGrowth
+from repro.core.clustering import Clustering
+from repro.core.growth_engine import (
+    GrowthEngine,
+    ShiftActivationSchedule,
+    ShiftedStartTieBreak,
+)
 from repro.graph.csr import CSRGraph
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import BackendSpec, MREngine
@@ -39,7 +44,13 @@ from repro.utils.rng import SeedLike, as_rng
 __all__ = ["mpx_decomposition", "mpx_with_target_clusters", "mr_mpx_decomposition"]
 
 
-def mpx_decomposition(graph: CSRGraph, beta: float, *, seed: SeedLike = None) -> Clustering:
+def mpx_decomposition(
+    graph: CSRGraph,
+    beta: float,
+    *,
+    seed: SeedLike = None,
+    tie_break: str = "arbitrary",
+) -> Clustering:
     """Run the MPX random-shift decomposition with parameter ``beta``.
 
     Parameters
@@ -51,6 +62,11 @@ def mpx_decomposition(graph: CSRGraph, beta: float, *, seed: SeedLike = None) ->
         shifts ⇒ more clusters of smaller radius.
     seed:
         Randomness for the shifts.
+    tie_break:
+        ``"arbitrary"`` (default) resolves contested nodes toward the first
+        claimant in the adjacency scan; ``"shifted-start"`` resolves them
+        toward the cluster whose center has the earliest shifted start time
+        (the continuous-time MPX semantics).
 
     Returns
     -------
@@ -61,52 +77,23 @@ def mpx_decomposition(graph: CSRGraph, beta: float, *, seed: SeedLike = None) ->
         raise ValueError(f"beta must be positive, got {beta}")
     rng = as_rng(seed)
     n = graph.num_nodes
-    growth = ClusterGrowth(graph)
     if n == 0:
-        return growth.to_clustering(algorithm="mpx")
+        return GrowthEngine(graph).to_clustering(algorithm="mpx")
 
     shifts = rng.exponential(scale=1.0 / beta, size=n)
     delta_max = float(shifts.max())
     start_times = delta_max - shifts  # earliest time each node may start a cluster
-
-    # Process activation in integer rounds; within a round, nodes with smaller
-    # start time activate "first" (deterministic tie-break by start time).
     max_round = int(math.floor(delta_max)) + 1
-    activation_round = np.minimum(np.floor(start_times).astype(np.int64), max_round)
-    round_order = np.argsort(start_times, kind="stable")
 
-    current = 0
-    pointer = 0
-    sorted_rounds = activation_round[round_order]
-    while growth.num_uncovered > 0:
-        # Activate every uncovered node whose start time falls in this round,
-        # in increasing start-time order.
-        uncovered_before = growth.num_uncovered
-        to_activate = []
-        while pointer < n and sorted_rounds[pointer] <= current:
-            node = int(round_order[pointer])
-            pointer += 1
-            to_activate.append(node)
-        growth.mark()
-        accepted = growth.add_centers(to_activate) if to_activate else np.zeros(0, dtype=np.int64)
-        newly = growth.grow_step() if growth.num_clusters else 0
-        growth.record_iteration(
-            IterationStats(
-                iteration=current,
-                uncovered_before=uncovered_before,
-                new_centers=int(accepted.size),
-                growth_steps=1 if growth.num_clusters else 0,
-                covered_after=growth.num_covered,
-                selection_probability=float("nan"),
-            )
-        )
-        current += 1
-        if pointer >= n and newly == 0 and growth.num_uncovered > 0:
-            # Remaining nodes are unreachable from any active cluster
-            # (disconnected graph): promote them to singleton clusters.
-            growth.cover_remaining_as_singletons()
-            break
-    return growth.to_clustering(algorithm="mpx")
+    if tie_break == "arbitrary":
+        policy = None
+    elif tie_break == "shifted-start":
+        policy = ShiftedStartTieBreak(start_times)
+    else:
+        raise ValueError(f"unknown MPX tie_break {tie_break!r}")
+    engine = GrowthEngine(graph, tie_break=policy)
+    engine.run(ShiftActivationSchedule(start_times, max_round))
+    return engine.to_clustering(algorithm="mpx")
 
 
 def mr_mpx_decomposition(
@@ -124,9 +111,9 @@ def mr_mpx_decomposition(
     MPX is level-synchronous like CLUSTER: every integer round is one
     activation/growing step, i.e. a constant number of MR rounds (Lemma 3
     applies to its sort/prefix-sum formulation as well).  The execution trace
-    recorded by :class:`~repro.core.growth.ClusterGrowth` is replayed against
-    an :class:`~repro.mapreduce.engine.MREngine` configured with the chosen
-    execution backend, exactly like the CLUSTER driver in
+    recorded by :class:`~repro.core.growth_engine.GrowthEngine` is replayed
+    against an :class:`~repro.mapreduce.engine.MREngine` configured with the
+    chosen execution backend, exactly like the CLUSTER driver in
     :func:`repro.core.mr_algorithms.mr_cluster_decomposition`.
 
     Returns an :class:`repro.core.mr_algorithms.MRExecutionReport` (with

@@ -5,11 +5,26 @@ from repro.core.cluster2 import Cluster2Result, cluster2
 from repro.core.clustering import Clustering, GrowthStepStats, IterationStats
 from repro.core.diameter import DiameterEstimate, estimate_diameter
 from repro.core.growth import ClusterGrowth
+from repro.core.growth_engine import (
+    ArbitraryTieBreak,
+    BatchHalvingSchedule,
+    CenterSchedule,
+    GeometricSchedule,
+    GrowthEngine,
+    MinWeightTieBreak,
+    ShiftActivationSchedule,
+    ShiftedStartTieBreak,
+    StaticSchedule,
+    TieBreakPolicy,
+    farthest_point_centers,
+    multi_source_growth,
+)
 from repro.core.kcenter import KCenterResult, evaluate_centers, kcenter, merge_clusters_to_k
 from repro.core.mr_algorithms import (
     MRExecutionReport,
     mr_cluster_decomposition,
     mr_estimate_diameter,
+    mr_weighted_cluster_decomposition,
 )
 from repro.core.mr_native import mr_cluster_native
 from repro.core.oracle import DistanceOracle, build_distance_oracle
@@ -26,6 +41,18 @@ __all__ = [
     "DiameterEstimate",
     "estimate_diameter",
     "ClusterGrowth",
+    "GrowthEngine",
+    "TieBreakPolicy",
+    "ArbitraryTieBreak",
+    "MinWeightTieBreak",
+    "ShiftedStartTieBreak",
+    "CenterSchedule",
+    "BatchHalvingSchedule",
+    "GeometricSchedule",
+    "ShiftActivationSchedule",
+    "StaticSchedule",
+    "multi_source_growth",
+    "farthest_point_centers",
     "KCenterResult",
     "evaluate_centers",
     "kcenter",
@@ -34,6 +61,7 @@ __all__ = [
     "mr_cluster_decomposition",
     "mr_cluster_native",
     "mr_estimate_diameter",
+    "mr_weighted_cluster_decomposition",
     "DistanceOracle",
     "build_distance_oracle",
     "QuotientGraph",

@@ -10,6 +10,11 @@ clusters from *progressive batches* of centers:
   of the previously uncovered nodes become covered,
 * finally, promote any leftover uncovered nodes to singleton clusters.
 
+The growing itself is delegated to the shared
+:class:`~repro.core.growth_engine.GrowthEngine`: CLUSTER is exactly the
+engine driven by a :class:`~repro.core.growth_engine.BatchHalvingSchedule`
+with the arbitrary tie-break policy.
+
 Theorem 1 shows the result has ``O(τ log² n)`` clusters and that the maximum
 radius is within an ``O(log n)`` factor of the best radius achievable with
 ``τ`` clusters; Lemma 1 bounds the radius by ``O(⌈∆ / τ^{1/b}⌉ log n)`` for a
@@ -21,31 +26,17 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-import numpy as np
-
-from repro.core.clustering import Clustering, IterationStats
-from repro.core.growth import ClusterGrowth
+from repro.core.clustering import Clustering
+from repro.core.growth_engine import (
+    BatchHalvingSchedule,
+    GrowthEngine,
+    selection_probability,
+    uncovered_threshold,
+)
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, as_rng, random_subset_mask
+from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["cluster", "cluster_with_target_clusters", "selection_probability", "uncovered_threshold"]
-
-
-def _log_n(num_nodes: int) -> float:
-    """``log₂ n`` guarded against degenerate sizes (paper uses base-2 logs)."""
-    return math.log2(max(2, num_nodes))
-
-
-def uncovered_threshold(num_nodes: int, tau: int) -> float:
-    """The ``8 τ log n`` stopping threshold of Algorithm 1's while loop."""
-    return 8.0 * tau * _log_n(num_nodes)
-
-
-def selection_probability(num_nodes: int, tau: int, num_uncovered: int) -> float:
-    """The ``4 τ log n / |V - V'|`` center-selection probability (clamped to 1)."""
-    if num_uncovered <= 0:
-        return 0.0
-    return min(1.0, 4.0 * tau * _log_n(num_nodes) / num_uncovered)
 
 
 def cluster(
@@ -81,46 +72,8 @@ def cluster(
     """
     if tau < 1:
         raise ValueError(f"tau must be a positive integer, got {tau}")
-    rng = as_rng(seed)
-    n = graph.num_nodes
-    growth = ClusterGrowth(graph)
-    if n == 0:
-        return growth.to_clustering(algorithm="cluster")
-
-    threshold = uncovered_threshold(n, tau)
-    limit = max_iterations if max_iterations is not None else int(4 * _log_n(n)) + 8
-    iteration = 0
-
-    while growth.num_uncovered >= threshold and growth.num_uncovered > 0:
-        if iteration >= limit:
-            break
-        uncovered = growth.uncovered_nodes
-        uncovered_before = int(uncovered.size)
-        probability = selection_probability(n, tau, uncovered_before)
-        mask = random_subset_mask(uncovered_before, probability, rng)
-        selected = uncovered[mask]
-        if selected.size == 0 and growth.num_clusters == 0:
-            # Degenerate (very unlikely) draw with no active clusters: force a
-            # single random center so the process can make progress.
-            selected = rng.choice(uncovered, size=1)
-        growth.mark()
-        accepted = growth.add_centers(selected)
-        target = int(math.ceil(uncovered_before / 2.0))
-        steps = growth.grow_until(target)
-        growth.record_iteration(
-            IterationStats(
-                iteration=iteration,
-                uncovered_before=uncovered_before,
-                new_centers=int(accepted.size),
-                growth_steps=steps,
-                covered_after=growth.num_covered,
-                selection_probability=probability,
-            )
-        )
-        iteration += 1
-
-    growth.cover_remaining_as_singletons()
-    return growth.to_clustering(algorithm="cluster")
+    schedule = BatchHalvingSchedule(tau, as_rng(seed), max_iterations=max_iterations)
+    return GrowthEngine(graph).run(schedule).to_clustering(algorithm="cluster")
 
 
 def cluster_with_target_clusters(
@@ -157,7 +110,7 @@ def cluster_with_target_clusters(
     if n == 0:
         raise ValueError("graph must be non-empty")
     rng = as_rng(seed)
-    log_sq = _log_n(n) ** 2
+    log_sq = math.log2(max(2, n)) ** 2
     # Theorem 1: #clusters = O(τ log² n); start from the inversion and adjust.
     tau = max(1, int(round(target_clusters / max(1.0, 0.25 * log_sq))))
     best: Optional[Clustering] = None

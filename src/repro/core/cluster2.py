@@ -5,7 +5,9 @@ runs CLUSTER(τ) to learn the maximum radius ``R_ALG`` achievable at that
 granularity, then rebuilds the decomposition from scratch over ``log n``
 iterations.  In iteration ``i`` every uncovered node becomes a new center
 independently with probability ``2^i / n`` and all active clusters grow for
-exactly ``2 R_ALG`` steps.
+exactly ``2 R_ALG`` steps.  Both phases drive the shared
+:class:`~repro.core.growth_engine.GrowthEngine`; the refinement phase is the
+engine under a :class:`~repro.core.growth_engine.GeometricSchedule`.
 
 The smooth (geometric) growth of the selection probability together with the
 fixed lower bound on the number of growing steps per iteration is what makes
@@ -19,17 +21,14 @@ Lemma 2: the result has ``O(τ log⁴ n)`` clusters of radius at most
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.core.cluster import cluster
-from repro.core.clustering import Clustering, IterationStats
-from repro.core.growth import ClusterGrowth
+from repro.core.clustering import Clustering
+from repro.core.growth_engine import GeometricSchedule, GrowthEngine
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, as_rng, random_subset_mask
+from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["cluster2", "Cluster2Result"]
 
@@ -91,51 +90,16 @@ def cluster2(
     if tau < 1:
         raise ValueError(f"tau must be a positive integer, got {tau}")
     rng = as_rng(seed)
-    n = graph.num_nodes
     if pilot is None:
         pilot = cluster(graph, tau, seed=rng)
     r_alg = pilot.max_radius
     growth_budget = max(1, 2 * r_alg)
 
-    growth = ClusterGrowth(graph)
-    if n == 0:
-        return Cluster2Result(clustering=growth.to_clustering("cluster2"), pilot=pilot, r_alg=r_alg)
-
-    num_iterations = max(1, int(math.ceil(math.log2(max(2, n)))))
-    for i in range(1, num_iterations + 1):
-        if growth.num_uncovered == 0:
-            break
-        uncovered = growth.uncovered_nodes
-        uncovered_before = int(uncovered.size)
-        probability = min(1.0, (2.0 ** i) / n)
-        if i == num_iterations:
-            # Final iteration: the paper's probability 2^{log n}/n = 1 ensures
-            # full coverage; guard against floating-point shortfall.
-            probability = 1.0
-        mask = random_subset_mask(uncovered_before, probability, rng)
-        selected = uncovered[mask]
-        growth.mark()
-        accepted = growth.add_centers(selected)
-        steps = 0
-        if accepted.size or growth.num_clusters:
-            covered_before_steps = growth.num_covered
-            growth.grow_steps(growth_budget)
-            steps = min(growth_budget, growth.num_steps)  # informational
-            _ = covered_before_steps
-        growth.record_iteration(
-            IterationStats(
-                iteration=i,
-                uncovered_before=uncovered_before,
-                new_centers=int(accepted.size),
-                growth_steps=growth_budget if accepted.size or growth.num_clusters else 0,
-                covered_after=growth.num_covered,
-                selection_probability=probability,
-            )
-        )
-
+    engine = GrowthEngine(graph)
+    if graph.num_nodes > 0:
+        engine.run(GeometricSchedule(growth_budget, rng))
     # The final iteration selects every uncovered node as a center, so the
-    # graph is fully covered here; the singleton promotion is a no-op kept for
-    # robustness (e.g. if a caller passes a pilot with radius 0).
-    growth.cover_remaining_as_singletons()
-    refined = growth.to_clustering(algorithm="cluster2")
+    # graph is fully covered by the schedule; the engine's closing singleton
+    # promotion is a no-op kept for robustness (e.g. a pilot with radius 0).
+    refined = engine.to_clustering(algorithm="cluster2")
     return Cluster2Result(clustering=refined, pilot=pilot, r_alg=r_alg)

@@ -123,14 +123,10 @@ class Clustering:
         """Exact cluster radii: true graph distance from each node to its center.
 
         The growth distance can overestimate the true distance when a shorter
-        path to the center runs through another cluster's territory; this
-        recomputes radii with a multi-source BFS from all centers over the
-        whole graph restricted to same-cluster assignments.
+        path to the center runs through another cluster's territory; the exact
+        own-center distance is therefore computed with one BFS per cluster
+        within the cluster's induced subgraph.
         """
-        result = multi_source_bfs(graph, list(self.centers))
-        # Distance from the *nearest* center lower-bounds the distance from
-        # the own center; to get the exact own-center distance we BFS per
-        # cluster within the induced subgraph.
         radii = np.zeros(self.num_clusters, dtype=np.int64)
         for cid in range(self.num_clusters):
             nodes = self.members(cid)
@@ -138,7 +134,6 @@ class Clustering:
             center_local = int(np.searchsorted(mapping, self.centers[cid]))
             dist = multi_source_bfs(sub, [center_local]).distances
             radii[cid] = int(dist.max()) if dist.size else 0
-        _ = result  # nearest-center distances are not needed beyond documentation
         return radii
 
     # ------------------------------------------------------------------ #

@@ -17,6 +17,11 @@ The estimator:
 Corollary 1 guarantees ``∆_C ≤ ∆ ≤ ∆' = O(∆ log³ n)`` with high probability
 when CLUSTER2 is used; the experiments show the weighted bound is below
 ``2∆`` in practice.
+
+:func:`estimate_diameter` is a thin wrapper over the
+:class:`~repro.core.pipeline.DecompositionPipeline` (which caches the
+decomposition and quotient stages for reuse); use the pipeline directly when
+you need the intermediates.
 """
 
 from __future__ import annotations
@@ -25,12 +30,9 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.cluster import cluster, cluster_with_target_clusters
-from repro.core.cluster2 import cluster2
 from repro.core.clustering import Clustering
-from repro.core.quotient import QuotientGraph, build_quotient_graph, quotient_diameter
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike
 
 __all__ = ["DiameterEstimate", "estimate_diameter", "diameter_upper_bounds", "default_tau"]
 
@@ -143,39 +145,16 @@ def estimate_diameter(
     -------
     DiameterEstimate
     """
+    from repro.core.pipeline import DecompositionPipeline, PipelineConfig
+
     provided = sum(x is not None for x in (tau, target_clusters, clustering))
     if provided > 1:
         raise ValueError("provide at most one of tau, target_clusters, clustering")
-    rng = as_rng(seed)
-
-    if clustering is None:
-        if target_clusters is not None:
-            clustering = cluster_with_target_clusters(graph, target_clusters, seed=rng)
-        else:
-            chosen_tau = tau if tau is not None else default_tau(graph)
-            if use_cluster2:
-                clustering = cluster2(graph, chosen_tau, seed=rng).clustering
-            else:
-                clustering = cluster(graph, chosen_tau, seed=rng)
-
-    radius = clustering.max_radius
-    unweighted_quotient = build_quotient_graph(graph, clustering, weighted=False)
-    lower = quotient_diameter(unweighted_quotient)
-    weighted_diam: Optional[float] = None
-    num_quotient_edges = unweighted_quotient.num_edges
-    if weighted:
-        weighted_quotient = build_quotient_graph(graph, clustering, weighted=True)
-        weighted_diam = quotient_diameter(weighted_quotient)
-        num_quotient_edges = weighted_quotient.num_edges
-    unweighted_upper, weighted_upper = diameter_upper_bounds(lower, radius, weighted_diam)
-    upper = weighted_upper if weighted_upper is not None else float(unweighted_upper)
-    return DiameterEstimate(
-        lower_bound=int(lower),
-        upper_bound=upper,
-        upper_bound_unweighted=unweighted_upper,
-        upper_bound_weighted=weighted_upper,
-        radius=radius,
-        num_clusters=clustering.num_clusters,
-        num_quotient_edges=num_quotient_edges,
-        clustering=clustering,
+    config = PipelineConfig(
+        method="cluster2" if use_cluster2 else "cluster",
+        tau=tau,
+        target_clusters=target_clusters,
+        seed=seed,
+        weighted_quotient=weighted,
     )
+    return DecompositionPipeline(graph, config, clustering=clustering).diameter()

@@ -1,208 +1,18 @@
-"""Disjoint parallel cluster growing.
+"""Backward-compatible alias for the unified growth engine.
 
-This module implements the single primitive every decomposition algorithm in
-the paper is built from: a set of clusters, each with a center, grows
-level-synchronously and *disjointly* — in each growing step every active
-cluster extends its frontier by one hop, and when several clusters attempt to
-cover the same node in the same step exactly one of them (arbitrarily chosen)
-succeeds.
-
-The implementation is fully vectorized: a growing step is one
-``neighbor_blocks`` gather over the current frontier followed by a stable
-sort that keeps a single claimant per newly covered node.  One growing step
-corresponds to one (constant number of) MR round(s) in the distributed
-implementation (Lemma 3), so the per-step statistics recorded here are what
-the MR drivers convert into round/communication metrics.
+The disjoint cluster-growing primitive used to live here as ``ClusterGrowth``;
+it is now implemented once, for all metrics and algorithms, by
+:class:`repro.core.growth_engine.GrowthEngine` (parameterized by a tie-break
+policy and driven by a center-selection schedule).  ``ClusterGrowth`` remains
+as an alias for callers that drive the low-level unweighted API directly.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from repro.core.growth_engine import UNCOVERED, GrowthEngine
 
-import numpy as np
-
-from repro.core.clustering import Clustering, GrowthStepStats, IterationStats
-from repro.graph.csr import CSRGraph
-
-UNCOVERED = -1
+#: Alias kept for backward compatibility: ``ClusterGrowth(graph)`` is a
+#: :class:`GrowthEngine` with the default arbitrary tie-break policy.
+ClusterGrowth = GrowthEngine
 
 __all__ = ["ClusterGrowth", "UNCOVERED"]
-
-
-class ClusterGrowth:
-    """Mutable state of a disjoint cluster-growing process.
-
-    Typical usage (this is literally the inner loop of CLUSTER)::
-
-        growth = ClusterGrowth(graph)
-        growth.add_centers(first_batch)
-        while growth.newly_covered_since_mark < target:
-            if growth.grow_step() == 0:
-                break
-        ...
-        clustering = growth.to_clustering()
-    """
-
-    def __init__(self, graph: CSRGraph) -> None:
-        self.graph = graph
-        n = graph.num_nodes
-        self.assignment = np.full(n, UNCOVERED, dtype=np.int64)
-        self.distance = np.full(n, UNCOVERED, dtype=np.int64)
-        self.centers: List[int] = []
-        self.frontier = np.zeros(0, dtype=np.int64)
-        self.num_covered = 0
-        self.num_steps = 0
-        self.step_log: List[GrowthStepStats] = []
-        self.iterations: List[IterationStats] = []
-        self._mark_covered = 0
-
-    # ------------------------------------------------------------------ #
-    # Bookkeeping helpers
-    # ------------------------------------------------------------------ #
-    @property
-    def num_nodes(self) -> int:
-        return self.graph.num_nodes
-
-    @property
-    def num_clusters(self) -> int:
-        return len(self.centers)
-
-    @property
-    def num_uncovered(self) -> int:
-        return self.num_nodes - self.num_covered
-
-    @property
-    def uncovered_nodes(self) -> np.ndarray:
-        """Array of currently uncovered node ids."""
-        return np.flatnonzero(self.assignment == UNCOVERED)
-
-    def mark(self) -> None:
-        """Remember the current coverage count (start of an outer iteration)."""
-        self._mark_covered = self.num_covered
-
-    @property
-    def newly_covered_since_mark(self) -> int:
-        """Nodes covered since the last :meth:`mark` call."""
-        return self.num_covered - self._mark_covered
-
-    # ------------------------------------------------------------------ #
-    # Mutations
-    # ------------------------------------------------------------------ #
-    def add_centers(self, nodes: Sequence[int]) -> np.ndarray:
-        """Activate new singleton clusters centered at ``nodes``.
-
-        Nodes that are already covered are ignored (they cannot become
-        centers).  Returns the array of accepted center node ids.
-        """
-        candidate = np.unique(np.asarray(list(nodes), dtype=np.int64))
-        if candidate.size and (candidate.min() < 0 or candidate.max() >= self.num_nodes):
-            raise IndexError("center node id out of range")
-        accepted = candidate[self.assignment[candidate] == UNCOVERED]
-        if accepted.size == 0:
-            return accepted
-        new_ids = np.arange(len(self.centers), len(self.centers) + accepted.size, dtype=np.int64)
-        self.assignment[accepted] = new_ids
-        self.distance[accepted] = 0
-        self.centers.extend(int(v) for v in accepted)
-        self.num_covered += int(accepted.size)
-        self.frontier = np.concatenate([self.frontier, accepted])
-        return accepted
-
-    def grow_step(self) -> int:
-        """Grow every active cluster by one hop; return #newly covered nodes.
-
-        Ties (several clusters reaching the same node in the same step) are
-        broken arbitrarily but deterministically: the claimant appearing first
-        in the concatenated adjacency scan wins, which corresponds to the
-        arbitrary choice allowed by the paper's Algorithm 1.
-        """
-        if self.frontier.size == 0:
-            return 0
-        src, dst = self.graph.neighbor_blocks(self.frontier)
-        arcs_scanned = int(dst.size)
-        frontier_size = int(self.frontier.size)
-        newly = 0
-        if dst.size:
-            open_mask = self.assignment[dst] == UNCOVERED
-            dst = dst[open_mask]
-            src = src[open_mask]
-            if dst.size:
-                order = np.argsort(dst, kind="stable")
-                dst_sorted = dst[order]
-                src_sorted = src[order]
-                first = np.ones(dst_sorted.size, dtype=bool)
-                first[1:] = dst_sorted[1:] != dst_sorted[:-1]
-                new_nodes = dst_sorted[first]
-                parents = src_sorted[first]
-                self.assignment[new_nodes] = self.assignment[parents]
-                self.distance[new_nodes] = self.distance[parents] + 1
-                self.num_covered += int(new_nodes.size)
-                self.frontier = new_nodes
-                newly = int(new_nodes.size)
-            else:
-                self.frontier = np.zeros(0, dtype=np.int64)
-        else:
-            self.frontier = np.zeros(0, dtype=np.int64)
-        self.num_steps += 1
-        self.step_log.append(
-            GrowthStepStats(
-                frontier_size=frontier_size,
-                arcs_scanned=arcs_scanned,
-                newly_covered=newly,
-            )
-        )
-        return newly
-
-    def grow_until(self, target_new_nodes: int, *, max_steps: Optional[int] = None) -> int:
-        """Grow until at least ``target_new_nodes`` nodes are covered since the
-        last :meth:`mark`, a step makes no progress, or ``max_steps`` is hit.
-
-        Returns the number of growing steps executed.
-        """
-        steps = 0
-        while self.newly_covered_since_mark < target_new_nodes:
-            if max_steps is not None and steps >= max_steps:
-                break
-            covered = self.grow_step()
-            steps += 1
-            if covered == 0:
-                break
-        return steps
-
-    def grow_steps(self, count: int) -> int:
-        """Execute exactly ``count`` growing steps (stopping early only when the
-        frontier dies out); returns the number of nodes covered."""
-        covered = 0
-        for _ in range(count):
-            got = self.grow_step()
-            covered += got
-            if self.frontier.size == 0:
-                break
-        return covered
-
-    def cover_remaining_as_singletons(self) -> np.ndarray:
-        """Turn every still-uncovered node into a singleton cluster
-        (the final statement of Algorithm 1)."""
-        return self.add_centers(self.uncovered_nodes)
-
-    def record_iteration(self, stats: IterationStats) -> None:
-        """Append the statistics of one outer-loop iteration."""
-        self.iterations.append(stats)
-
-    # ------------------------------------------------------------------ #
-    def to_clustering(self, algorithm: str = "cluster") -> Clustering:
-        """Freeze the growth state into a :class:`Clustering` (requires full coverage)."""
-        if self.num_covered != self.num_nodes:
-            raise RuntimeError(
-                f"cannot freeze clustering: {self.num_uncovered} nodes are still uncovered"
-            )
-        return Clustering(
-            num_nodes=self.num_nodes,
-            assignment=self.assignment.copy(),
-            centers=np.asarray(self.centers, dtype=np.int64),
-            distance=self.distance.copy(),
-            growth_steps=self.num_steps,
-            iterations=list(self.iterations),
-            step_log=list(self.step_log),
-            algorithm=algorithm,
-        )

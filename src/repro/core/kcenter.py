@@ -15,6 +15,11 @@ nodes minimizing ``max_v dist(v, M)``.  The paper's algorithm:
 
 Theorem 2: the result is an ``O(log³ n)``-approximation with high
 probability (for ``k = Ω(log² n)``).
+
+Both the decomposition (step 1, via :func:`repro.core.cluster.cluster`) and
+the nearest-center evaluation (step 3, via
+:func:`repro.core.growth_engine.multi_source_growth`) drive the shared
+:class:`~repro.core.growth_engine.GrowthEngine`.
 """
 
 from __future__ import annotations
@@ -27,10 +32,10 @@ import numpy as np
 
 from repro.core.cluster import cluster
 from repro.core.clustering import Clustering
+from repro.core.growth_engine import multi_source_growth
 from repro.core.quotient import build_quotient_graph
 from repro.graph.components import num_connected_components
 from repro.graph.csr import CSRGraph
-from repro.graph.traversal import multi_source_bfs
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["KCenterResult", "kcenter", "evaluate_centers", "merge_clusters_to_k"]
@@ -69,27 +74,29 @@ class KCenterResult:
 def evaluate_centers(graph: CSRGraph, centers: "np.ndarray | List[int]", algorithm: str = "custom") -> KCenterResult:
     """Evaluate an arbitrary center set: nearest-center assignment and radius.
 
-    Unreachable nodes (disconnected graphs whose component contains no center)
-    make the radius infinite, reported as ``graph.num_nodes`` (a value larger
-    than any finite eccentricity) to keep the arithmetic integral.
+    The nearest-center assignment is one disjoint multi-source growth of the
+    shared :class:`~repro.core.growth_engine.GrowthEngine` (cluster id ``i``
+    is the ``i``-th center in sorted order).  Unreachable nodes (disconnected
+    graphs whose component contains no center) make the radius infinite,
+    reported as ``graph.num_nodes`` (a value larger than any finite
+    eccentricity) to keep the arithmetic integral; they are assigned to the
+    first center.
     """
     center_array = np.unique(np.asarray(list(centers), dtype=np.int64))
     if center_array.size == 0:
         raise ValueError("at least one center is required")
-    result = multi_source_bfs(graph, list(center_array))
-    distances = result.distances.copy()
+    engine = multi_source_growth(graph, center_array)
+    distances = engine.distance.copy()
     unreachable = distances < 0
     radius = int(distances[~unreachable].max()) if np.any(~unreachable) else 0
+    assignment = engine.assignment.copy()
     if np.any(unreachable):
         radius = graph.num_nodes
         distances[unreachable] = graph.num_nodes
-    # Map owner node ids to indices into the center array.
-    owner = result.sources.copy()
-    owner[unreachable] = center_array[0]
-    assignment = np.searchsorted(center_array, owner)
+        assignment[unreachable] = 0
     return KCenterResult(
         centers=center_array,
-        assignment=assignment.astype(np.int64),
+        assignment=assignment,
         distance=distances,
         radius=radius,
         algorithm=algorithm,

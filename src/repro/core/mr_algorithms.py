@@ -26,10 +26,10 @@ simulated time of :class:`repro.mapreduce.cost.CostModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.clustering import Clustering
-from repro.core.diameter import DiameterEstimate, estimate_diameter
+from repro.core.diameter import DiameterEstimate
 from repro.graph.csr import CSRGraph
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import BackendSpec, MREngine
@@ -37,12 +37,16 @@ from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRModel, rounds_for_primitive
 from repro.utils.rng import SeedLike
 
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.weighted
+    from repro.weighted.decomposition import WeightedClustering
+
 __all__ = [
     "MRExecutionReport",
     "charge_clustering_rounds",
     "charge_quotient_rounds",
     "mr_estimate_diameter",
     "mr_cluster_decomposition",
+    "mr_weighted_cluster_decomposition",
 ]
 
 
@@ -55,7 +59,7 @@ class MRExecutionReport:
     estimate:
         The diameter estimate (``None`` for pure decomposition runs).
     clustering:
-        The decomposition produced.
+        The decomposition produced (unweighted or weighted).
     metrics:
         Round / communication counters.
     simulated_time:
@@ -63,7 +67,7 @@ class MRExecutionReport:
     """
 
     estimate: Optional[DiameterEstimate]
-    clustering: Clustering
+    clustering: "Union[Clustering, WeightedClustering]"
     metrics: MRMetrics
     simulated_time: float
 
@@ -76,8 +80,20 @@ class MRExecutionReport:
         return self.metrics.shuffled_pairs
 
 
-def charge_clustering_rounds(engine: MREngine, clustering: Clustering) -> None:
-    """Replay a clustering execution trace as MR rounds on ``engine``."""
+def charge_clustering_rounds(
+    engine: MREngine, clustering: "Union[Clustering, WeightedClustering]"
+) -> None:
+    """Replay a clustering execution trace as MR rounds on ``engine``.
+
+    Works on any decomposition carrying the unified growth trace (``num_nodes``,
+    ``iterations``, ``step_log``) — both the unweighted :class:`Clustering` and
+    the weighted :class:`~repro.weighted.decomposition.WeightedClustering`
+    produced by the shared :class:`~repro.core.growth_engine.GrowthEngine`.
+    A weighted growing round is still a constant number of MR rounds: the
+    min-weight tie-break replaces the arbitrary claim sort with a sort keyed
+    by accumulated distance, which Lemma 3's sort/prefix-sum argument covers
+    unchanged.
+    """
     ml = engine.model.local_memory
     primitive_rounds = rounds_for_primitive(
         max(1, 2 * clustering.num_nodes), ml
@@ -150,6 +166,39 @@ def mr_cluster_decomposition(
     )
 
 
+def mr_weighted_cluster_decomposition(
+    wgraph,
+    tau: int,
+    *,
+    seed: SeedLike = None,
+    model: Optional[MRModel] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    backend: BackendSpec = "serial",
+    num_shards: Optional[int] = None,
+) -> MRExecutionReport:
+    """Run the §7 weighted CLUSTER(τ) and account for it in the MR model.
+
+    The weighted decomposition records the same unified per-step /
+    per-iteration trace as the unweighted algorithms, so its MR-round and
+    communication accounting is the exact same replay.
+    """
+    from repro.weighted.decomposition import weighted_cluster
+
+    engine = MREngine(
+        model=model if model is not None else MRModel(enforce=False),
+        backend=backend,
+        num_shards=num_shards,
+    )
+    clustering = weighted_cluster(wgraph, tau, seed=seed)
+    charge_clustering_rounds(engine, clustering)
+    return MRExecutionReport(
+        estimate=None,
+        clustering=clustering,
+        metrics=engine.metrics,
+        simulated_time=cost_model.simulated_time(engine.metrics),
+    )
+
+
 def mr_estimate_diameter(
     graph: CSRGraph,
     *,
@@ -169,31 +218,22 @@ def mr_estimate_diameter(
     reproductions: the returned report carries both the diameter estimate and
     the rounds / communication / simulated-time metrics.  ``backend`` /
     ``num_shards`` select the engine's execution backend (metrics are
-    backend-independent by construction).
+    backend-independent by construction).  Implemented as the
+    :class:`~repro.core.pipeline.DecompositionPipeline`'s MR accounting pass.
     """
-    engine = MREngine(
-        model=model if model is not None else MRModel(enforce=False),
-        backend=backend,
-        num_shards=num_shards,
-    )
-    estimate = estimate_diameter(
+    from repro.core.pipeline import DecompositionPipeline, PipelineConfig
+
+    pipeline = DecompositionPipeline(
         graph,
-        tau=tau,
-        target_clusters=target_clusters,
-        seed=seed,
-        use_cluster2=use_cluster2,
-        weighted=True,
+        PipelineConfig(
+            method="cluster2" if use_cluster2 else "cluster",
+            tau=tau,
+            target_clusters=target_clusters,
+            seed=seed,
+            weighted_quotient=True,
+            enforce_local_memory=enforce_local_memory,
+            mr_backend=backend,
+            mr_shards=num_shards,
+        ),
     )
-    charge_clustering_rounds(engine, estimate.clustering)
-    charge_quotient_rounds(
-        engine,
-        graph,
-        num_quotient_edges=estimate.num_quotient_edges,
-        enforce_local_memory=enforce_local_memory,
-    )
-    return MRExecutionReport(
-        estimate=estimate,
-        clustering=estimate.clustering,
-        metrics=engine.metrics,
-        simulated_time=cost_model.simulated_time(engine.metrics),
-    )
+    return pipeline.mr_report(model=model, cost_model=cost_model)

@@ -1,0 +1,332 @@
+"""End-to-end decomposition pipeline: decompose → quotient → diameter bounds.
+
+Every consumer of the decomposition machinery — the diameter-approximation
+experiments (Tables 3/4, Figure 1), the MR-accounting drivers, and any future
+serving workload — runs the same three-stage chain:
+
+1. **decompose** the graph with a growth-engine algorithm (CLUSTER, CLUSTER2,
+   MPX, or the single-batch baseline, selected by
+   :attr:`PipelineConfig.method`),
+2. build the (weighted and/or unweighted) **quotient** graph of the
+   decomposition, and
+3. compute the **diameter bounds** ``∆_C ≤ ∆ ≤ ∆''`` of Section 4.
+
+:class:`DecompositionPipeline` implements that chain once, with every
+intermediate result cached on the pipeline object so repeated or partial
+queries (e.g. the same decomposition under several quotient flavours, or a
+diameter estimate followed by MR-round accounting) never recompute a stage.
+Per-stage wall-clock timings are recorded in :attr:`DecompositionPipeline.timings`.
+
+:func:`repro.core.diameter.estimate_diameter` and
+:func:`repro.core.mr_algorithms.mr_estimate_diameter` are thin wrappers over
+this pipeline, so the experiment harness and the CLI drive one API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.clustering import Clustering
+from repro.core.quotient import QuotientGraph, build_quotient_graph, quotient_diameter
+from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
+from repro.mapreduce.engine import BackendSpec, MREngine
+from repro.mapreduce.model import MRModel
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["PipelineConfig", "PipelineResult", "DecompositionPipeline"]
+
+#: Decomposition algorithms selectable by :attr:`PipelineConfig.method`.
+PIPELINE_METHODS = ("cluster", "cluster2", "mpx", "single-batch")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of a :class:`DecompositionPipeline`.
+
+    Attributes
+    ----------
+    method:
+        Decomposition algorithm: ``"cluster"`` (Algorithm 1, the simplified
+        version used in the paper's experiments), ``"cluster2"`` (Algorithm 2,
+        full guarantees), ``"mpx"`` (the random-shift baseline), or
+        ``"single-batch"`` (all centers up front — the ablation strawman).
+    tau:
+        Granularity parameter for cluster/cluster2 (default:
+        :func:`repro.core.diameter.default_tau`).
+    target_clusters:
+        Tune the granularity (τ or β) so the decomposition lands near this
+        cluster count instead of fixing it a priori (the §6 protocol).  At
+        most one of ``tau`` / ``target_clusters`` may be set.
+    beta:
+        Shift rate for ``method="mpx"`` (default ``0.1``) when
+        ``target_clusters`` is not given.
+    seed:
+        Randomness for the decomposition stage.
+    weighted_quotient:
+        Also build the weighted quotient graph and report the tighter ``∆''``
+        upper bound (the number used in Tables 3 and 4).
+    enforce_local_memory:
+        Enforce the Theorem 4 requirement that the quotient graph fits in one
+        reducer's local memory during MR accounting.
+    mr_backend / mr_shards:
+        Execution backend for the MR accounting engine.
+    """
+
+    method: str = "cluster"
+    tau: Optional[int] = None
+    target_clusters: Optional[int] = None
+    beta: Optional[float] = None
+    seed: SeedLike = None
+    weighted_quotient: bool = True
+    enforce_local_memory: bool = False
+    mr_backend: BackendSpec = "serial"
+    mr_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in PIPELINE_METHODS:
+            raise ValueError(
+                f"unknown pipeline method {self.method!r}; choose from {PIPELINE_METHODS}"
+            )
+        if self.tau is not None and self.target_clusters is not None:
+            raise ValueError("provide at most one of tau, target_clusters")
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Materialized output of a full pipeline run.
+
+    ``estimate`` is the Section 4 diameter estimate; ``timings`` maps stage
+    names to seconds spent computing them.  The entries are disjoint — each
+    covers only its own work (a ``quotient[...]`` entry includes that
+    quotient's build and its diameter BFS; cache hits cost nothing).
+    """
+
+    method: str
+    clustering: Clustering
+    estimate: "DiameterEstimate"  # noqa: F821 - forward ref, resolved lazily
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Compact row used by the experiment tables."""
+        return {
+            "method": self.method,
+            "num_clusters": self.clustering.num_clusters,
+            "radius": self.estimate.radius,
+            "lower_bound": self.estimate.lower_bound,
+            "upper_bound": self.estimate.upper_bound,
+            "quotient_edges": self.estimate.num_quotient_edges,
+            **{f"t_{stage}": round(secs, 4) for stage, secs in sorted(self.timings.items())},
+        }
+
+
+class DecompositionPipeline:
+    """Configurable decompose → quotient → diameter chain with stage caching.
+
+    Usage::
+
+        pipe = DecompositionPipeline(graph, PipelineConfig(method="cluster", tau=4, seed=0))
+        clustering = pipe.decompose()        # stage 1 (cached)
+        estimate = pipe.diameter()           # stages 2+3 (cached)
+        report = pipe.mr_report()            # MR accounting over cached stages
+        result = pipe.run()                  # everything, as a PipelineResult
+
+    An existing decomposition can be injected to skip stage 1 (e.g. to price
+    several quotient flavours of one clustering)::
+
+        pipe = DecompositionPipeline(graph, clustering=my_clustering)
+    """
+
+    def __init__(
+        self,
+        graph,
+        config: Optional[PipelineConfig] = None,
+        *,
+        clustering: Optional[Clustering] = None,
+        **overrides,
+    ) -> None:
+        config = config if config is not None else PipelineConfig()
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        self.graph = graph
+        self.config = config
+        self.timings: Dict[str, float] = {}
+        self._clustering: Optional[Clustering] = clustering
+        self._quotients: Dict[bool, QuotientGraph] = {}
+        self._quotient_diameters: Dict[bool, float] = {}
+        self._estimate = None
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: decomposition
+    # ------------------------------------------------------------------ #
+    def decompose(self) -> Clustering:
+        """Run (or return the cached) decomposition stage."""
+        if self._clustering is None:
+            start = time.perf_counter()
+            self._clustering = self._run_decomposition()
+            self.timings["decompose"] = time.perf_counter() - start
+        return self._clustering
+
+    def _run_decomposition(self) -> Clustering:
+        from repro.baselines.mpx import mpx_decomposition, mpx_with_target_clusters
+        from repro.core.cluster import cluster, cluster_with_target_clusters
+        from repro.core.cluster2 import cluster2
+        from repro.core.diameter import default_tau
+
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        if cfg.method == "mpx":
+            if cfg.target_clusters is not None:
+                return mpx_with_target_clusters(self.graph, cfg.target_clusters, seed=rng)
+            return mpx_decomposition(self.graph, cfg.beta if cfg.beta is not None else 0.1, seed=rng)
+        if cfg.method == "single-batch":
+            from repro.experiments.ablations import single_batch_decomposition
+
+            num_centers = cfg.target_clusters if cfg.target_clusters is not None else (
+                cfg.tau if cfg.tau is not None else default_tau(self.graph)
+            )
+            return single_batch_decomposition(self.graph, num_centers, seed=rng)
+        if cfg.target_clusters is not None:
+            pilot = cluster_with_target_clusters(self.graph, cfg.target_clusters, seed=rng)
+            if cfg.method == "cluster2":
+                # §6.2 protocol at a target granularity: reuse the tuned
+                # CLUSTER run as the pilot estimating R_ALG, then run the
+                # geometric refinement.
+                return cluster2(self.graph, 1, seed=rng, pilot=pilot).clustering
+            return pilot
+        tau = cfg.tau if cfg.tau is not None else default_tau(self.graph)
+        if cfg.method == "cluster2":
+            return cluster2(self.graph, tau, seed=rng).clustering
+        return cluster(self.graph, tau, seed=rng)
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: quotient graph(s)
+    # ------------------------------------------------------------------ #
+    def quotient(self, *, weighted: bool = True) -> QuotientGraph:
+        """Build (or return the cached) quotient graph of the decomposition."""
+        if weighted not in self._quotients:
+            clustering = self.decompose()
+            start = time.perf_counter()
+            self._quotients[weighted] = build_quotient_graph(
+                self.graph, clustering, weighted=weighted
+            )
+            self.timings[f"quotient[{'weighted' if weighted else 'unweighted'}]"] = (
+                time.perf_counter() - start
+            )
+        return self._quotients[weighted]
+
+    def quotient_diameter(self, *, weighted: bool = True) -> float:
+        """Diameter of the (cached) quotient graph.
+
+        The BFS time is accumulated into the same ``quotient[...]`` timing
+        entry as the build, so each entry covers that quotient flavour's full
+        cost and the stage timings partition the pipeline's wall-clock.
+        """
+        if weighted not in self._quotient_diameters:
+            quotient = self.quotient(weighted=weighted)
+            start = time.perf_counter()
+            self._quotient_diameters[weighted] = quotient_diameter(quotient)
+            key = f"quotient[{'weighted' if weighted else 'unweighted'}]"
+            self.timings[key] = self.timings.get(key, 0.0) + time.perf_counter() - start
+        return self._quotient_diameters[weighted]
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: diameter bounds
+    # ------------------------------------------------------------------ #
+    def diameter(self):
+        """Compute (or return the cached) Section 4 diameter estimate."""
+        from repro.core.diameter import DiameterEstimate, diameter_upper_bounds
+
+        if self._estimate is None:
+            clustering = self.decompose()
+            radius = clustering.max_radius
+            lower = self.quotient_diameter(weighted=False)
+            weighted_diam: Optional[float] = None
+            num_quotient_edges = self.quotient(weighted=False).num_edges
+            if self.config.weighted_quotient:
+                weighted_diam = self.quotient_diameter(weighted=True)
+                num_quotient_edges = self.quotient(weighted=True).num_edges
+            # Sub-stages above record their own timings; "diameter" covers
+            # only the bound assembly so the stage entries stay disjoint.
+            start = time.perf_counter()
+            unweighted_upper, weighted_upper = diameter_upper_bounds(
+                lower, radius, weighted_diam
+            )
+            upper = weighted_upper if weighted_upper is not None else float(unweighted_upper)
+            self._estimate = DiameterEstimate(
+                lower_bound=int(lower),
+                upper_bound=upper,
+                upper_bound_unweighted=unweighted_upper,
+                upper_bound_weighted=weighted_upper,
+                radius=radius,
+                num_clusters=clustering.num_clusters,
+                num_quotient_edges=num_quotient_edges,
+                clustering=clustering,
+            )
+            self.timings["diameter"] = time.perf_counter() - start
+        return self._estimate
+
+    # ------------------------------------------------------------------ #
+    # MR accounting over the cached stages
+    # ------------------------------------------------------------------ #
+    def mr_report(
+        self,
+        *,
+        model: Optional[MRModel] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        include_quotient: bool = True,
+    ):
+        """Account for the pipeline's execution in the MR(M_G, M_L) model.
+
+        Charges the decomposition's growth trace, plus (by default) the
+        quotient-build and quotient-diameter rounds, against an
+        :class:`~repro.mapreduce.engine.MREngine` configured with the
+        pipeline's backend; returns an
+        :class:`~repro.core.mr_algorithms.MRExecutionReport`.
+        """
+        from repro.core.mr_algorithms import (
+            MRExecutionReport,
+            charge_clustering_rounds,
+            charge_quotient_rounds,
+        )
+
+        estimate = self.diameter() if include_quotient else None
+        clustering = self.decompose()
+        # Prerequisite stages above record their own timings; "mr-accounting"
+        # covers only the round-charging replay.
+        start = time.perf_counter()
+        engine = MREngine(
+            model=model if model is not None else MRModel(enforce=False),
+            backend=self.config.mr_backend,
+            num_shards=self.config.mr_shards,
+        )
+        if include_quotient:
+            charge_clustering_rounds(engine, estimate.clustering)
+            charge_quotient_rounds(
+                engine,
+                self.graph,
+                num_quotient_edges=estimate.num_quotient_edges,
+                enforce_local_memory=self.config.enforce_local_memory,
+            )
+        else:
+            charge_clustering_rounds(engine, clustering)
+        self.timings["mr-accounting"] = time.perf_counter() - start
+        return MRExecutionReport(
+            estimate=estimate,
+            clustering=clustering,
+            metrics=engine.metrics,
+            simulated_time=cost_model.simulated_time(engine.metrics),
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> PipelineResult:
+        """Execute every stage and return the materialized result."""
+        estimate = self.diameter()
+        return PipelineResult(
+            method=self.config.method,
+            clustering=self.decompose(),
+            estimate=estimate,
+            timings=dict(self.timings),
+        )

@@ -32,7 +32,7 @@ from repro.baselines.mpx import mpx_with_target_clusters
 from repro.core.cluster import cluster, cluster_with_target_clusters
 from repro.core.cluster2 import cluster2
 from repro.core.diameter import estimate_diameter
-from repro.core.growth import ClusterGrowth
+from repro.core.growth_engine import GrowthEngine, StaticSchedule
 from repro.core.kcenter import kcenter
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
 from repro.experiments.datasets import dataset_names, load_dataset, reference_diameter
@@ -61,15 +61,9 @@ def single_batch_decomposition(graph: CSRGraph, num_centers: int, *, seed: SeedL
         raise ValueError("num_centers must be >= 1")
     rng = as_rng(seed)
     n = graph.num_nodes
-    growth = ClusterGrowth(graph)
     centers = rng.choice(n, size=min(num_centers, n), replace=False)
-    growth.add_centers(centers)
-    while growth.num_uncovered > 0:
-        if growth.grow_step() == 0:
-            growth.cover_remaining_as_singletons()
-            break
-    clustering = growth.to_clustering(algorithm="single-batch")
-    return clustering
+    engine = GrowthEngine(graph).run(StaticSchedule(centers))
+    return engine.to_clustering(algorithm="single-batch")
 
 
 def run_batch_policy_ablation(

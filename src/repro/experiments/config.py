@@ -18,10 +18,13 @@ whole harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.experiments.datasets import DATASETS
 from repro.mapreduce.cost import CostModel
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep config import-light
+    from repro.core.pipeline import DecompositionPipeline
 
 __all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "granularity_for"]
 
@@ -49,6 +52,11 @@ class ExperimentConfig:
         shard count used by every MR engine the harness creates.  Metrics and
         results are backend-independent; the choice only affects wall-clock
         time of the harness itself.
+    decomposition_method:
+        Decomposition algorithm used by the pipeline-driven experiments
+        (``cluster`` / ``cluster2`` / ``mpx`` / ``single-batch``; the CLI's
+        ``--method`` flag).  The paper-table reproductions always pin their
+        own methods.
     """
 
     seed: int = 20150613
@@ -63,10 +71,29 @@ class ExperimentConfig:
     tail_multipliers: tuple = (0, 1, 2, 4, 6, 8, 10)
     mr_backend: str = "serial"
     mr_shards: Optional[int] = None
+    decomposition_method: str = "cluster"
 
     def divisor(self, regime: str) -> int:
         """Granularity divisor for a dataset regime."""
         return self.social_divisor if regime == "social" else self.road_divisor
+
+    def pipeline(self, graph, **overrides) -> "DecompositionPipeline":
+        """Build a :class:`~repro.core.pipeline.DecompositionPipeline` wired
+        with this config's method, MR backend and shard count.
+
+        Keyword overrides are forwarded to
+        :class:`~repro.core.pipeline.PipelineConfig` (``tau``,
+        ``target_clusters``, ``seed``, ``method``, ...), so experiment drivers
+        and serving workloads construct every pipeline the same way.
+        """
+        from repro.core.pipeline import DecompositionPipeline, PipelineConfig
+
+        base = PipelineConfig(
+            method=self.decomposition_method,
+            mr_backend=self.mr_backend,
+            mr_shards=self.mr_shards,
+        )
+        return DecompositionPipeline(graph, base, **overrides)
 
 
 DEFAULT_CONFIG = ExperimentConfig()

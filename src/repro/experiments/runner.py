@@ -22,7 +22,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import render_csv, render_table
-from repro.experiments import ablations, figure1, table1, table2, table3, table4
+from repro.experiments import ablations, figure1, pipeline_stages, table1, table2, table3, table4
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.mapreduce.backends import available_backends
 from repro.utils.logging import enable_verbose
@@ -31,16 +31,19 @@ __all__ = ["main", "EXPERIMENTS", "run_experiment"]
 
 
 def _config_for(args) -> ExperimentConfig:
-    """The harness config with the CLI's backend selection applied."""
-    backend = getattr(args, "backend", None)
-    shards = getattr(args, "shards", None)
-    if backend is None and shards is None:
+    """The harness config with the CLI's backend / method selection applied."""
+    overrides = {}
+    for attr, field in (
+        ("backend", "mr_backend"),
+        ("shards", "mr_shards"),
+        ("method", "decomposition_method"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[field] = value
+    if not overrides:
         return DEFAULT_CONFIG
-    return dataclasses.replace(
-        DEFAULT_CONFIG,
-        mr_backend=backend if backend is not None else DEFAULT_CONFIG.mr_backend,
-        mr_shards=shards if shards is not None else DEFAULT_CONFIG.mr_shards,
-    )
+    return dataclasses.replace(DEFAULT_CONFIG, **overrides)
 
 
 def _run_table1(args) -> List[Dict]:
@@ -69,6 +72,12 @@ def _run_figure1(args) -> List[Dict]:
     return figure1.run_figure1(scale=args.scale, datasets=datasets, config=_config_for(args))
 
 
+def _run_pipeline(args) -> List[Dict]:
+    return pipeline_stages.run_pipeline(
+        scale=args.scale, datasets=args.datasets, config=_config_for(args)
+    )
+
+
 def _run_ablations(args) -> List[Dict]:
     rows: List[Dict] = []
     rows.extend(ablations.run_batch_policy_ablation(scale=args.scale, datasets=args.datasets))
@@ -85,6 +94,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table3": _run_table3,
     "table4": _run_table4,
     "figure1": _run_figure1,
+    "pipeline": _run_pipeline,
     "ablations": _run_ablations,
 }
 
@@ -94,6 +104,7 @@ _TITLES = {
     "table3": "Table 3 — diameter approximation quality (coarser / finer clustering)",
     "table4": "Table 4 — diameter estimation cost: CLUSTER vs BFS vs HADI (MR accounting)",
     "figure1": "Figure 1 — cost vs tail length (CLUSTER flat, BFS linear)",
+    "pipeline": "Pipeline — decompose → quotient → diameter bounds, per-stage timings + MR cost",
     "ablations": "Ablations — batch policy, tau sweep, CLUSTER2, expander+path, k-center",
 }
 
@@ -128,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to these dataset names")
     parser.add_argument("--no-hadi", action="store_true",
                         help="skip the HADI baseline in table4 (it is slow by design)")
+    parser.add_argument("--method", default=None,
+                        choices=["cluster", "cluster2", "mpx", "single-batch"],
+                        help="decomposition method for the pipeline experiment "
+                             "(default: cluster)")
     parser.add_argument("--backend", default=None, choices=available_backends(),
                         help="MR execution backend for the metered drivers "
                              "(default: serial; results are backend-independent)")

@@ -32,7 +32,9 @@ class CSRGraph:
         ``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
     indices:
         ``int64`` array of length ``2 * num_edges`` holding neighbour ids,
-        sorted within each node's slice.
+        sorted within each node's slice.  Raw-constructor inputs violating the
+        per-node sort order are sorted at construction time, so the invariant
+        (relied upon by ``has_edge``'s binary search) always holds.
     """
 
     indptr: np.ndarray
@@ -55,6 +57,14 @@ class CSRGraph:
         n = indptr.size - 1
         if indices.size and (indices.min() < 0 or indices.max() >= n):
             raise ValueError("indices contain node ids outside [0, num_nodes)")
+        # Enforce the documented invariant that every node's neighbour slice is
+        # sorted (``has_edge`` binary-searches it): inputs built via the raw
+        # constructor with unsorted rows are sorted here, once.
+        if indices.size > 1:
+            descending = np.flatnonzero(indices[1:] < indices[:-1]) + 1
+            if descending.size and np.setdiff1d(descending, indptr).size:
+                rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+                indices = indices[np.lexsort((indices, rows))]
         object.__setattr__(self, "indptr", indptr)
         object.__setattr__(self, "indices", indices)
 

@@ -4,20 +4,25 @@ The paper's conclusions describe a "preliminary decomposition strategy that,
 together with the number of clusters and their weighted radius, also controls
 their hop radius, which governs the parallel depth of the computation".  This
 module implements that strategy as a natural weighted generalization of
-Algorithm 1:
+Algorithm 1, reusing the shared :class:`~repro.core.growth_engine.GrowthEngine`
+end to end:
 
-* the outer loop is identical to CLUSTER (select a batch of new centers with
-  probability ``4 τ log n / |uncovered|``, grow until at least half of the
-  uncovered nodes are covered, repeat while more than ``8 τ log n`` nodes are
-  uncovered);
-* a growing step extends every active cluster by **one hop** (one parallel
-  round), and when several clusters reach the same uncovered node in the same
-  round the node is claimed by the cluster offering the **smallest accumulated
-  weighted distance**;
+* the outer loop is *identical* to CLUSTER — the engine runs the very same
+  :class:`~repro.core.growth_engine.BatchHalvingSchedule` (select a batch of
+  new centers with probability ``4 τ log n / |uncovered|``, grow until at
+  least half of the uncovered nodes are covered, repeat while more than
+  ``8 τ log n`` nodes are uncovered);
+* only the tie-break policy differs: a growing step extends every active
+  cluster by **one hop** (one parallel round), and when several clusters reach
+  the same uncovered node in the same round the
+  :class:`~repro.core.growth_engine.MinWeightTieBreak` policy awards it to the
+  cluster offering the **smallest accumulated weighted distance**;
 * the decomposition therefore records, per node, both the hop distance (number
   of rounds after activation of its cluster — the parallel-depth quantity)
   and the weighted distance along the growth path (the weighted-radius
-  quantity).
+  quantity), plus the same per-step/per-iteration execution trace as the
+  unweighted algorithms, so the MR-round accounting of
+  :mod:`repro.core.mr_algorithms` covers weighted runs too.
 
 The weighted distance along the growth path is a genuine path length, hence an
 upper bound on the true weighted distance to the center; the hop distance is
@@ -26,20 +31,23 @@ exactly the number of parallel rounds the cluster needed to reach the node.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
-from repro.core.cluster import selection_probability, uncovered_threshold
-from repro.utils.rng import SeedLike, as_rng, random_subset_mask
+from repro.core.clustering import GrowthStepStats, IterationStats
+from repro.core.growth_engine import (
+    UNCOVERED,
+    BatchHalvingSchedule,
+    GrowthEngine,
+    MinWeightTieBreak,
+)
+from repro.utils.rng import SeedLike, as_rng
 from repro.weighted.traversal import multi_source_dijkstra
 from repro.weighted.wgraph import WeightedCSRGraph
 
-__all__ = ["WeightedClustering", "weighted_cluster", "WeightedGrowth"]
-
-UNCOVERED = -1
+__all__ = ["WeightedClustering", "weighted_cluster", "WeightedGrowth", "UNCOVERED"]
 
 
 @dataclass
@@ -62,6 +70,11 @@ class WeightedClustering:
         (0.0 for centers) — the weighted radius is ``weighted_distance.max()``.
     growth_rounds:
         Total number of parallel growing rounds executed (parallel depth).
+    iterations / step_log:
+        The same execution trace as :class:`~repro.core.clustering.Clustering`
+        (one :class:`IterationStats` per outer iteration, one
+        :class:`GrowthStepStats` per growing round), consumed by the MR-round
+        accounting in :mod:`repro.core.mr_algorithms`.
     """
 
     num_nodes: int
@@ -70,11 +83,19 @@ class WeightedClustering:
     hop_distance: np.ndarray
     weighted_distance: np.ndarray
     growth_rounds: int = 0
+    iterations: List[IterationStats] = field(default_factory=list)
+    step_log: List[GrowthStepStats] = field(default_factory=list)
     algorithm: str = "weighted-cluster"
 
     @property
     def num_clusters(self) -> int:
         return int(self.centers.size)
+
+    @property
+    def growth_steps(self) -> int:
+        """Alias of :attr:`growth_rounds` matching the unweighted
+        :class:`~repro.core.clustering.Clustering` interface."""
+        return self.growth_rounds
 
     @property
     def hop_radius(self) -> int:
@@ -126,114 +147,32 @@ class WeightedClustering:
         }
 
 
-class WeightedGrowth:
-    """Mutable state of hop-synchronous weighted cluster growing."""
+class WeightedGrowth(GrowthEngine):
+    """Hop-synchronous weighted cluster growing (compatibility shim).
+
+    The weighted growth loop is the shared :class:`GrowthEngine` with the
+    :class:`MinWeightTieBreak` policy; this subclass only preserves the
+    historical attribute names (``hop_distance`` / ``num_rounds`` /
+    ``grow_round``) and the :class:`WeightedClustering` freeze.
+    """
 
     def __init__(self, graph: WeightedCSRGraph) -> None:
-        self.graph = graph
-        n = graph.num_nodes
-        self.assignment = np.full(n, UNCOVERED, dtype=np.int64)
-        self.hop_distance = np.full(n, UNCOVERED, dtype=np.int64)
-        self.weighted_distance = np.full(n, np.inf)
-        self.centers: List[int] = []
-        self.frontier = np.zeros(0, dtype=np.int64)
-        self.num_covered = 0
-        self.num_rounds = 0
-        self._mark = 0
+        super().__init__(graph, tie_break=MinWeightTieBreak())
 
     @property
-    def num_nodes(self) -> int:
-        return self.graph.num_nodes
+    def hop_distance(self) -> np.ndarray:
+        return self.distance
 
     @property
-    def num_uncovered(self) -> int:
-        return self.num_nodes - self.num_covered
-
-    @property
-    def uncovered_nodes(self) -> np.ndarray:
-        return np.flatnonzero(self.assignment == UNCOVERED)
-
-    def mark(self) -> None:
-        self._mark = self.num_covered
-
-    @property
-    def newly_covered_since_mark(self) -> int:
-        return self.num_covered - self._mark
-
-    def add_centers(self, nodes: Sequence[int]) -> np.ndarray:
-        candidate = np.unique(np.asarray(list(nodes), dtype=np.int64))
-        if candidate.size and (candidate.min() < 0 or candidate.max() >= self.num_nodes):
-            raise IndexError("center out of range")
-        accepted = candidate[self.assignment[candidate] == UNCOVERED]
-        if accepted.size == 0:
-            return accepted
-        new_ids = np.arange(len(self.centers), len(self.centers) + accepted.size, dtype=np.int64)
-        self.assignment[accepted] = new_ids
-        self.hop_distance[accepted] = 0
-        self.weighted_distance[accepted] = 0.0
-        self.centers.extend(int(v) for v in accepted)
-        self.num_covered += int(accepted.size)
-        self.frontier = np.concatenate([self.frontier, accepted])
-        return accepted
+    def num_rounds(self) -> int:
+        return self.num_steps
 
     def grow_round(self) -> int:
         """One parallel hop-round; uncovered nodes go to the lightest claimant."""
-        if self.frontier.size == 0:
-            return 0
-        src, dst, w = self.graph.neighbor_blocks(self.frontier)
-        self.num_rounds += 1
-        if dst.size == 0:
-            self.frontier = np.zeros(0, dtype=np.int64)
-            return 0
-        open_mask = self.assignment[dst] == UNCOVERED
-        src, dst, w = src[open_mask], dst[open_mask], w[open_mask]
-        if dst.size == 0:
-            self.frontier = np.zeros(0, dtype=np.int64)
-            return 0
-        candidate_weight = self.weighted_distance[src] + w
-        # For each claimed node keep the claim with the smallest accumulated
-        # weighted distance (stable lexsort: primary key node, secondary weight).
-        order = np.lexsort((candidate_weight, dst))
-        dst_sorted = dst[order]
-        src_sorted = src[order]
-        weight_sorted = candidate_weight[order]
-        first = np.ones(dst_sorted.size, dtype=bool)
-        first[1:] = dst_sorted[1:] != dst_sorted[:-1]
-        new_nodes = dst_sorted[first]
-        parents = src_sorted[first]
-        new_weights = weight_sorted[first]
-        self.assignment[new_nodes] = self.assignment[parents]
-        self.hop_distance[new_nodes] = self.hop_distance[parents] + 1
-        self.weighted_distance[new_nodes] = new_weights
-        self.num_covered += int(new_nodes.size)
-        self.frontier = new_nodes
-        return int(new_nodes.size)
-
-    def grow_until(self, target_new_nodes: int) -> int:
-        rounds = 0
-        while self.newly_covered_since_mark < target_new_nodes:
-            if self.grow_round() == 0:
-                break
-            rounds += 1
-        return rounds
-
-    def cover_remaining_as_singletons(self) -> np.ndarray:
-        return self.add_centers(self.uncovered_nodes)
+        return self.grow_step()
 
     def to_clustering(self, algorithm: str = "weighted-cluster") -> WeightedClustering:
-        if self.num_covered != self.num_nodes:
-            raise RuntimeError(f"{self.num_uncovered} nodes still uncovered")
-        return WeightedClustering(
-            num_nodes=self.num_nodes,
-            assignment=self.assignment.copy(),
-            centers=np.asarray(self.centers, dtype=np.int64),
-            hop_distance=self.hop_distance.copy(),
-            weighted_distance=np.where(
-                np.isfinite(self.weighted_distance), self.weighted_distance, 0.0
-            ),
-            growth_rounds=self.num_rounds,
-            algorithm=algorithm,
-        )
+        return self.to_weighted_clustering(algorithm)
 
 
 def weighted_cluster(
@@ -252,26 +191,6 @@ def weighted_cluster(
     """
     if tau < 1:
         raise ValueError(f"tau must be a positive integer, got {tau}")
-    rng = as_rng(seed)
-    n = graph.num_nodes
-    growth = WeightedGrowth(graph)
-    if n == 0:
-        return growth.to_clustering()
-    threshold = uncovered_threshold(n, tau)
-    limit = max_iterations if max_iterations is not None else int(4 * math.log2(max(2, n))) + 8
-    iteration = 0
-    while growth.num_uncovered >= threshold and growth.num_uncovered > 0:
-        if iteration >= limit:
-            break
-        uncovered = growth.uncovered_nodes
-        probability = selection_probability(n, tau, int(uncovered.size))
-        mask = random_subset_mask(int(uncovered.size), probability, rng)
-        selected = uncovered[mask]
-        if selected.size == 0 and not growth.centers:
-            selected = rng.choice(uncovered, size=1)
-        growth.mark()
-        growth.add_centers(selected)
-        growth.grow_until(int(math.ceil(uncovered.size / 2.0)))
-        iteration += 1
-    growth.cover_remaining_as_singletons()
-    return growth.to_clustering()
+    schedule = BatchHalvingSchedule(tau, as_rng(seed), max_iterations=max_iterations)
+    engine = GrowthEngine(graph, tie_break=MinWeightTieBreak())
+    return engine.run(schedule).to_weighted_clustering("weighted-cluster")

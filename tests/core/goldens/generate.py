@@ -1,0 +1,143 @@
+"""Regenerate the cross-implementation equivalence goldens.
+
+The goldens pin the *exact* seeded outputs (SHA-256 of the result arrays plus
+human-readable summary numbers) of every growth-loop-driven algorithm:
+CLUSTER, CLUSTER2, MPX, k-center (CLUSTER-based and Gonzalez), the
+single-batch ablation baseline, the weighted decomposition, and the
+decomposition-based diameter estimate with its MR-round accounting.
+
+``tests/core/test_golden_equivalence.py`` asserts current outputs match these
+files bit for bit, so any refactor of the growth machinery (such as the
+GrowthEngine port) is provably output-preserving.  Regenerate only when an
+output change is *intended*::
+
+    PYTHONPATH=src python tests/core/goldens/generate.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "growth_goldens.json"
+
+
+def array_digest(*arrays: np.ndarray) -> str:
+    """SHA-256 over the concatenated raw bytes of the given arrays."""
+    h = hashlib.sha256()
+    for array in arrays:
+        h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
+
+
+def clustering_record(clustering) -> dict:
+    return {
+        "digest": array_digest(
+            clustering.assignment.astype(np.int64),
+            clustering.centers.astype(np.int64),
+            clustering.distance.astype(np.int64),
+        ),
+        "num_clusters": int(clustering.num_clusters),
+        "max_radius": int(clustering.max_radius),
+        "growth_steps": int(clustering.growth_steps),
+        "radii_digest": array_digest(clustering.radii().astype(np.int64)),
+    }
+
+
+def weighted_record(clustering) -> dict:
+    return {
+        "digest": array_digest(
+            clustering.assignment.astype(np.int64),
+            clustering.centers.astype(np.int64),
+            clustering.hop_distance.astype(np.int64),
+            clustering.weighted_distance.astype(np.float64),
+        ),
+        "num_clusters": int(clustering.num_clusters),
+        "hop_radius": int(clustering.hop_radius),
+        "weighted_radius": round(float(clustering.weighted_radius), 9),
+    }
+
+
+def kcenter_record(result) -> dict:
+    return {
+        "digest": array_digest(
+            result.centers.astype(np.int64),
+            result.assignment.astype(np.int64),
+            result.distance.astype(np.int64),
+        ),
+        "k": int(result.k),
+        "radius": int(result.radius),
+    }
+
+
+def build_graphs() -> dict:
+    from repro.generators import barabasi_albert_graph, mesh_graph, road_network_graph
+    from repro.graph.builders import disjoint_union
+
+    return {
+        "mesh24": mesh_graph(24, 24),
+        "ba600": barabasi_albert_graph(600, 3, seed=3),
+        "road18": road_network_graph(18, 18, seed=6),
+        "two-meshes": disjoint_union([mesh_graph(8, 8), mesh_graph(6, 6)]),
+    }
+
+
+def generate() -> dict:
+    from repro.baselines.gonzalez import gonzalez_kcenter
+    from repro.baselines.mpx import mpx_decomposition
+    from repro.core.cluster import cluster
+    from repro.core.cluster2 import cluster2
+    from repro.core.diameter import estimate_diameter
+    from repro.core.kcenter import kcenter
+    from repro.core.mr_algorithms import mr_estimate_diameter
+    from repro.experiments.ablations import single_batch_decomposition
+    from repro.weighted.decomposition import weighted_cluster
+    from repro.weighted.wgraph import WeightedCSRGraph
+
+    goldens: dict = {}
+    for name, graph in build_graphs().items():
+        record: dict = {}
+        record["cluster"] = clustering_record(cluster(graph, 1, seed=123))
+        record["cluster2"] = clustering_record(cluster2(graph, 1, seed=7).clustering)
+        record["mpx"] = clustering_record(mpx_decomposition(graph, 0.15, seed=11))
+        record["single-batch"] = clustering_record(
+            single_batch_decomposition(graph, 12, seed=17)
+        )
+        record["kcenter"] = kcenter_record(kcenter(graph, 10, seed=5))
+        record["gonzalez"] = kcenter_record(gonzalez_kcenter(graph, 8, seed=13))
+        wgraph = WeightedCSRGraph.random_weights(
+            graph, low=1.0, high=5.0, rng=np.random.default_rng(2)
+        )
+        record["weighted-cluster"] = weighted_record(weighted_cluster(wgraph, 1, seed=9))
+        if name != "two-meshes":  # diameter estimation assumes a connected graph
+            estimate = estimate_diameter(graph, tau=1, seed=21, weighted=True)
+            record["diameter"] = {
+                "clustering": clustering_record(estimate.clustering),
+                "lower_bound": int(estimate.lower_bound),
+                "upper_bound": round(float(estimate.upper_bound), 9),
+                "upper_bound_unweighted": int(estimate.upper_bound_unweighted),
+                "radius": int(estimate.radius),
+                "num_clusters": int(estimate.num_clusters),
+                "num_quotient_edges": int(estimate.num_quotient_edges),
+            }
+            report = mr_estimate_diameter(graph, tau=1, seed=21)
+            record["mr-diameter"] = {
+                "rounds": int(report.rounds),
+                "shuffled_pairs": int(report.shuffled_pairs),
+                "upper_bound": round(float(report.estimate.upper_bound), 9),
+            }
+        goldens[name] = record
+    return goldens
+
+
+def main() -> None:
+    goldens = generate()
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

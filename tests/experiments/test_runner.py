@@ -34,6 +34,7 @@ class TestDispatch:
             "table3",
             "table4",
             "figure1",
+            "pipeline",
             "ablations",
         }
 
@@ -59,3 +60,11 @@ class TestDispatch:
         code = main(["table2", "--scale", "small", "--datasets", "mesh", "--verbose"])
         assert code == 0
         assert "mesh" in capsys.readouterr().out
+
+    def test_main_pipeline_with_method(self, capsys):
+        code = main(["pipeline", "--scale", "small", "--datasets", "mesh", "--method", "mpx"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pipeline" in out
+        assert "mpx" in out
+        assert "t_decompose" in out

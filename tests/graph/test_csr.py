@@ -74,6 +74,34 @@ class TestConstruction:
         with pytest.raises(ValueError):
             CSRGraph(indptr=np.asarray([0, 2, 1, 3]), indices=np.asarray([1, 2, 0]))
 
+    def test_raw_constructor_sorts_neighbor_slices(self):
+        # Triangle 0-1-2 with every adjacency row deliberately unsorted; the
+        # constructor must restore the documented per-row sort invariant so
+        # has_edge's binary search stays correct.
+        g = CSRGraph(
+            indptr=np.asarray([0, 2, 4, 6]),
+            indices=np.asarray([2, 1, 2, 0, 1, 0]),
+        )
+        for node in range(3):
+            row = g.neighbors(node)
+            assert np.all(row[1:] >= row[:-1])
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(0, 2)
+
+    def test_raw_constructor_unsorted_with_empty_rows(self):
+        # Empty rows between populated ones must not confuse the row-boundary
+        # detection (a row legitimately "restarts" the ordering).
+        g = CSRGraph(
+            indptr=np.asarray([0, 0, 3, 3, 4]),
+            indices=np.asarray([3, 2, 0, 1]),
+        )
+        assert g.neighbors(1).tolist() == [0, 2, 3]
+        assert g.has_edge(1, 0) and g.has_edge(1, 2) and g.has_edge(1, 3)
+        assert g.has_edge(3, 1)
+
+    def test_sorted_input_left_untouched(self, tiny_graph):
+        rebuilt = CSRGraph(indptr=tiny_graph.indptr, indices=tiny_graph.indices)
+        assert rebuilt == tiny_graph
+
 
 class TestAccessors:
     def test_symmetry(self, tiny_graph):
