@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import multi_source_bfs
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
@@ -117,23 +118,21 @@ def mr_bfs_diameter(
 
     degrees = graph.degree()
 
+    def charge_level(frontier: np.ndarray) -> None:
+        # One BFS level = one MR round shuffling the scanned arcs plus the
+        # frontier bookkeeping; the kernel invokes this for every expansion
+        # attempt, including the final fruitless one, matching the metered
+        # semantics of a round-synchronous distributed BFS.
+        arcs = int(degrees[frontier].sum())
+        engine.charge_rounds(1, pairs_per_round=arcs + int(frontier.size), label="bfs-level")
+
     def run_one_bfs(source: int) -> tuple:
-        distances = np.full(n, -1, dtype=np.int64)
-        distances[source] = 0
-        frontier = np.asarray([source], dtype=np.int64)
-        levels = 0
-        while frontier.size:
-            arcs = int(degrees[frontier].sum())
-            engine.charge_rounds(1, pairs_per_round=arcs + int(frontier.size), label="bfs-level")
-            _, dst = graph.neighbor_blocks(frontier)
-            if dst.size == 0:
-                break
-            fresh = np.unique(dst[distances[dst] < 0])
-            if fresh.size == 0:
-                break
-            levels += 1
-            distances[fresh] = levels
-            frontier = fresh
+        distances, _, levels = kernels.frontier_expansion(
+            graph.indptr,
+            graph.indices,
+            np.asarray([source], dtype=np.int64),
+            on_level=charge_level,
+        )
         return distances, levels
 
     first_dist, first_levels = run_one_bfs(int(start))

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import BackendSpec, MREngine
@@ -139,22 +140,21 @@ def hadi_diameter(
     sketches = make_fm_sketches(n, num_registers=num_registers, rng=rng)
     neighborhood = [float(n)]  # N(0) = n (every node reaches itself)
     estimate = 0
-    degrees = np.diff(graph.indptr)
-    has_neighbors = degrees > 0
-    # Segment starts restricted to nodes with neighbours keep reduceat
-    # boundaries exact (zero-degree nodes share their successor's indptr).
-    segment_starts = graph.indptr[:-1][has_neighbors]
+    segments = kernels.reduce_segments(graph.indptr)
 
     for t in range(1, limit + 1):
-        # One HADI iteration = one MR round shuffling a sketch along every arc.
+        # One HADI iteration = one MR round shuffling a sketch along every arc:
+        # the shared neighbor_reduce kernel ORs each node's sketch with its
+        # neighbours' (zero-degree nodes keep theirs untouched).
         engine.charge_rounds(
             1,
             pairs_per_round=graph.num_directed_edges + n,
             label="hadi-iteration",
         )
-        if segment_starts.size:
-            gathered = sketches[graph.indices]
-            neighbor_or = np.bitwise_or.reduceat(gathered, segment_starts, axis=0)
+        has_neighbors, neighbor_or = kernels.neighbor_reduce(
+            graph.indptr, graph.indices, sketches, np.bitwise_or, segments=segments
+        )
+        if neighbor_or.size:
             updated = sketches.copy()
             updated[has_neighbors] |= neighbor_or
             sketches = updated

@@ -36,7 +36,52 @@ from repro.core.growth_engine import (
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, as_rng
 
-__all__ = ["cluster", "cluster_with_target_clusters", "selection_probability", "uncovered_threshold"]
+__all__ = [
+    "cluster",
+    "cluster_with_target_clusters",
+    "selection_probability",
+    "tune_tau",
+    "uncovered_threshold",
+]
+
+
+def tune_tau(run, num_nodes, target_clusters, *, tolerance=0.35, max_trials=12):
+    """Multiplicative τ search of the §6.1 experimental protocol.
+
+    ``run(tau)`` executes one decomposition trial and returns any object with
+    a ``num_clusters`` attribute; the search inverts Theorem 1's
+    ``#clusters = O(τ log² n)`` bound for the starting τ and then moves τ
+    multiplicatively toward the target until the count lands within
+    ``(1 ± tolerance) * target_clusters`` (or ``max_trials`` is exhausted, in
+    which case the closest attempt is returned).  Shared by the unweighted
+    and weighted ``*_with_target_clusters`` frontends, which only differ in
+    the decomposition ``run``.
+    """
+    if target_clusters < 1:
+        raise ValueError("target_clusters must be >= 1")
+    n = num_nodes
+    if n == 0:
+        raise ValueError("graph must be non-empty")
+    log_sq = math.log2(max(2, n)) ** 2
+    # Theorem 1: #clusters = O(τ log² n); start from the inversion and adjust.
+    tau = max(1, int(round(target_clusters / max(1.0, 0.25 * log_sq))))
+    best = None
+    best_gap = float("inf")
+    for _ in range(max_trials):
+        result = run(tau)
+        count = result.num_clusters
+        gap = abs(count - target_clusters) / target_clusters
+        if gap < best_gap:
+            best, best_gap = result, gap
+        if (1 - tolerance) * target_clusters <= count <= (1 + tolerance) * target_clusters:
+            return result
+        ratio = target_clusters / max(1, count)
+        # Dampened multiplicative update; τ moves in the direction of the miss.
+        tau = max(1, int(round(tau * min(4.0, max(0.25, ratio)))))
+        if tau >= n:
+            tau = n // 2 or 1
+    assert best is not None
+    return best
 
 
 def cluster(
@@ -104,29 +149,11 @@ def cluster_with_target_clusters(
         Maximum number of CLUSTER invocations before returning the closest
         attempt seen.
     """
-    if target_clusters < 1:
-        raise ValueError("target_clusters must be >= 1")
-    n = graph.num_nodes
-    if n == 0:
-        raise ValueError("graph must be non-empty")
     rng = as_rng(seed)
-    log_sq = math.log2(max(2, n)) ** 2
-    # Theorem 1: #clusters = O(τ log² n); start from the inversion and adjust.
-    tau = max(1, int(round(target_clusters / max(1.0, 0.25 * log_sq))))
-    best: Optional[Clustering] = None
-    best_gap = float("inf")
-    for _ in range(max_trials):
-        result = cluster(graph, tau, seed=rng)
-        count = result.num_clusters
-        gap = abs(count - target_clusters) / target_clusters
-        if gap < best_gap:
-            best, best_gap = result, gap
-        if (1 - tolerance) * target_clusters <= count <= (1 + tolerance) * target_clusters:
-            return result
-        ratio = target_clusters / max(1, count)
-        # Dampened multiplicative update; τ moves in the direction of the miss.
-        tau = max(1, int(round(tau * min(4.0, max(0.25, ratio)))))
-        if tau >= n:
-            tau = n // 2 or 1
-    assert best is not None
-    return best
+    return tune_tau(
+        lambda tau: cluster(graph, tau, seed=rng),
+        graph.num_nodes,
+        target_clusters,
+        tolerance=tolerance,
+        max_trials=max_trials,
+    )

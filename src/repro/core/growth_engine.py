@@ -30,8 +30,11 @@ pluggable policies:
   multi-source growth, also the building block of the farthest-point k-center
   traversal via :func:`farthest_point_centers`).
 
-The engine is fully vectorized: a growing step is one ``neighbor_blocks``
-gather over the current frontier followed by a sort that keeps a single
+The engine is fully vectorized on the shared kernels of
+:mod:`repro.graph.kernels`: a growing step is one
+:func:`~repro.graph.kernels.gather_neighbors` over the current frontier
+followed by a :func:`~repro.graph.kernels.claim_first` /
+:func:`~repro.graph.kernels.claim_min` resolution that keeps a single
 claimant per newly covered node.
 """
 
@@ -43,6 +46,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.clustering import Clustering, GrowthStepStats, IterationStats
+from repro.graph import kernels
 from repro.utils.rng import SeedLike, as_rng, random_subset_mask
 
 UNCOVERED = -1
@@ -85,7 +89,7 @@ class TieBreakPolicy:
         self, graph, frontier: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
         """Candidate claims for ``frontier``: ``(sources, targets, weights)``."""
-        src, dst = graph.neighbor_blocks(frontier)
+        src, dst, _ = kernels.gather_neighbors(graph.indptr, graph.indices, frontier)
         return src, dst, None
 
     def resolve(
@@ -109,12 +113,8 @@ class ArbitraryTieBreak(TieBreakPolicy):
     name = "arbitrary"
 
     def resolve(self, engine, src, dst, weight):
-        order = np.argsort(dst, kind="stable")
-        dst_sorted = dst[order]
-        src_sorted = src[order]
-        first = np.ones(dst_sorted.size, dtype=bool)
-        first[1:] = dst_sorted[1:] != dst_sorted[:-1]
-        return dst_sorted[first], src_sorted[first], None
+        new_nodes, parents = kernels.claim_first(dst, src)
+        return new_nodes, parents, None
 
 
 class MinWeightTieBreak(TieBreakPolicy):
@@ -129,16 +129,15 @@ class MinWeightTieBreak(TieBreakPolicy):
     weighted = True
 
     def gather(self, graph, frontier):
-        return graph.neighbor_blocks(frontier)
+        src, dst, positions = kernels.gather_neighbors(
+            graph.indptr, graph.indices, frontier
+        )
+        return src, dst, graph.weights[positions]
 
     def resolve(self, engine, src, dst, weight):
         candidate = engine.weighted_distance[src] + weight
-        # Stable lexsort: primary key target node, secondary accumulated weight.
-        order = np.lexsort((candidate, dst))
-        dst_sorted = dst[order]
-        first = np.ones(dst_sorted.size, dtype=bool)
-        first[1:] = dst_sorted[1:] != dst_sorted[:-1]
-        return dst_sorted[first], src[order][first], candidate[order][first]
+        # claim_min: primary key target node, secondary accumulated weight.
+        return kernels.claim_min(dst, src, candidate)
 
 
 class ShiftedStartTieBreak(TieBreakPolicy):
@@ -157,11 +156,8 @@ class ShiftedStartTieBreak(TieBreakPolicy):
 
     def resolve(self, engine, src, dst, weight):
         center_of = engine.centers_array[engine.assignment[src]]
-        order = np.lexsort((self.priority[center_of], dst))
-        dst_sorted = dst[order]
-        first = np.ones(dst_sorted.size, dtype=bool)
-        first[1:] = dst_sorted[1:] != dst_sorted[:-1]
-        return dst_sorted[first], src[order][first], None
+        new_nodes, parents, _ = kernels.claim_min(dst, src, self.priority[center_of])
+        return new_nodes, parents, None
 
 
 _NAMED_TIE_BREAKS = {
@@ -171,7 +167,7 @@ _NAMED_TIE_BREAKS = {
 
 
 def _as_tie_break(policy, graph) -> TieBreakPolicy:
-    weighted_graph = hasattr(graph, "weights")
+    weighted_graph = getattr(graph, "weights", None) is not None
     if policy is None:
         return MinWeightTieBreak() if weighted_graph else ArbitraryTieBreak()
     if isinstance(policy, str):

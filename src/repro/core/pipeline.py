@@ -39,7 +39,7 @@ from repro.utils.rng import SeedLike, as_rng
 __all__ = ["PipelineConfig", "PipelineResult", "DecompositionPipeline"]
 
 #: Decomposition algorithms selectable by :attr:`PipelineConfig.method`.
-PIPELINE_METHODS = ("cluster", "cluster2", "mpx", "single-batch")
+PIPELINE_METHODS = ("cluster", "cluster2", "mpx", "single-batch", "weighted")
 
 
 @dataclass(frozen=True)
@@ -51,8 +51,12 @@ class PipelineConfig:
     method:
         Decomposition algorithm: ``"cluster"`` (Algorithm 1, the simplified
         version used in the paper's experiments), ``"cluster2"`` (Algorithm 2,
-        full guarantees), ``"mpx"`` (the random-shift baseline), or
-        ``"single-batch"`` (all centers up front — the ablation strawman).
+        full guarantees), ``"mpx"`` (the random-shift baseline),
+        ``"single-batch"`` (all centers up front — the ablation strawman), or
+        ``"weighted"`` (the §7 hop-bounded weighted decomposition; the input
+        graph is coerced to a :class:`~repro.weighted.wgraph.WeightedCSRGraph`
+        — unweighted inputs are lifted with unit edge weights — and the
+        diameter stage reports weighted bounds).
     tau:
         Granularity parameter for cluster/cluster2 (default:
         :func:`repro.core.diameter.default_tau`).
@@ -150,6 +154,10 @@ class DecompositionPipeline:
         config = config if config is not None else PipelineConfig()
         if overrides:
             config = dataclasses.replace(config, **overrides)
+        if config.method == "weighted":
+            from repro.weighted.wgraph import as_weighted
+
+            graph = as_weighted(graph)
         self.graph = graph
         self.config = config
         self.timings: Dict[str, float] = {}
@@ -177,6 +185,18 @@ class DecompositionPipeline:
 
         cfg = self.config
         rng = as_rng(cfg.seed)
+        if cfg.method == "weighted":
+            from repro.weighted.decomposition import (
+                weighted_cluster,
+                weighted_cluster_with_target_clusters,
+            )
+
+            if cfg.target_clusters is not None:
+                return weighted_cluster_with_target_clusters(
+                    self.graph, cfg.target_clusters, seed=rng
+                )
+            tau = cfg.tau if cfg.tau is not None else default_tau(self.graph)
+            return weighted_cluster(self.graph, tau, seed=rng)
         if cfg.method == "mpx":
             if cfg.target_clusters is not None:
                 return mpx_with_target_clusters(self.graph, cfg.target_clusters, seed=rng)
@@ -205,17 +225,34 @@ class DecompositionPipeline:
     # Stage 2: quotient graph(s)
     # ------------------------------------------------------------------ #
     def quotient(self, *, weighted: bool = True) -> QuotientGraph:
-        """Build (or return the cached) quotient graph of the decomposition."""
+        """Build (or return the cached) quotient graph of the decomposition.
+
+        For a weighted decomposition the ``weighted=True`` flavour carries
+        genuine center-to-center path lengths
+        (:func:`repro.weighted.applications.build_weighted_quotient`); the
+        ``weighted=False`` flavour is the hop-metric quotient of the same
+        clustering.
+        """
         if weighted not in self._quotients:
             clustering = self.decompose()
             start = time.perf_counter()
-            self._quotients[weighted] = build_quotient_graph(
-                self.graph, clustering, weighted=weighted
-            )
+            if weighted and self._is_weighted_run(clustering):
+                from repro.weighted.applications import build_weighted_quotient
+
+                self._quotients[weighted] = build_weighted_quotient(self.graph, clustering)
+            else:
+                self._quotients[weighted] = build_quotient_graph(
+                    self.graph, clustering, weighted=weighted
+                )
             self.timings[f"quotient[{'weighted' if weighted else 'unweighted'}]"] = (
                 time.perf_counter() - start
             )
         return self._quotients[weighted]
+
+    @staticmethod
+    def _is_weighted_run(clustering) -> bool:
+        """Whether the decomposition carries weighted growth distances."""
+        return getattr(clustering, "weighted_distance", None) is not None
 
     def quotient_diameter(self, *, weighted: bool = True) -> float:
         """Diameter of the (cached) quotient graph.
@@ -236,11 +273,21 @@ class DecompositionPipeline:
     # Stage 3: diameter bounds
     # ------------------------------------------------------------------ #
     def diameter(self):
-        """Compute (or return the cached) Section 4 diameter estimate."""
+        """Compute (or return the cached) diameter estimate.
+
+        Unweighted decompositions report the Section 4 bounds
+        (:class:`~repro.core.diameter.DiameterEstimate`); weighted
+        decompositions report the §7 weighted bounds
+        (:class:`~repro.weighted.applications.WeightedDiameterEstimate`:
+        weighted double-sweep lower bound, ``2·R_w + ∆'_C`` upper bound).
+        """
         from repro.core.diameter import DiameterEstimate, diameter_upper_bounds
 
         if self._estimate is None:
             clustering = self.decompose()
+            if self._is_weighted_run(clustering):
+                self._estimate = self._weighted_diameter(clustering)
+                return self._estimate
             radius = clustering.max_radius
             lower = self.quotient_diameter(weighted=False)
             weighted_diam: Optional[float] = None
@@ -267,6 +314,31 @@ class DecompositionPipeline:
             )
             self.timings["diameter"] = time.perf_counter() - start
         return self._estimate
+
+    def _weighted_diameter(self, clustering):
+        """Assemble the §7 weighted diameter bounds from the cached stages."""
+        from repro.weighted.applications import WeightedDiameterEstimate
+        from repro.weighted.traversal import weighted_double_sweep
+
+        quotient = self.quotient(weighted=True)
+        if quotient.num_nodes <= 1 or quotient.num_edges == 0:
+            quotient_diam = 0.0
+        else:
+            quotient_diam = self.quotient_diameter(weighted=True)
+        start = time.perf_counter()
+        lower, _, _ = weighted_double_sweep(self.graph, rng=as_rng(self.config.seed))
+        upper = 2.0 * clustering.weighted_radius + float(quotient_diam)
+        estimate = WeightedDiameterEstimate(
+            lower_bound=float(lower),
+            upper_bound=float(upper),
+            weighted_radius=clustering.weighted_radius,
+            hop_radius=clustering.hop_radius,
+            num_clusters=clustering.num_clusters,
+            clustering=clustering,
+            num_quotient_edges=quotient.num_edges,
+        )
+        self.timings["diameter"] = time.perf_counter() - start
+        return estimate
 
     # ------------------------------------------------------------------ #
     # MR accounting over the cached stages

@@ -17,13 +17,13 @@ two variants:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.clustering import Clustering
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import multi_source_bfs
 
@@ -83,7 +83,7 @@ def build_quotient_graph(
     if graph.num_nodes != clustering.num_nodes:
         raise ValueError("graph and clustering refer to different node sets")
     k = clustering.num_clusters
-    edges = graph.edges()
+    edges = graph.edge_array()
     if edges.size == 0:
         return QuotientGraph(graph=CSRGraph.empty(k), weights=np.zeros(0) if weighted else None)
     cu = clustering.assignment[edges[:, 0]]
@@ -124,30 +124,24 @@ def build_quotient_graph(
 def quotient_dijkstra(quotient: QuotientGraph, source: int) -> np.ndarray:
     """Single-source shortest paths on a quotient graph (weighted or not).
 
-    A plain binary-heap Dijkstra: the quotient graph is small by construction
-    (its size is chosen to fit the local memory of a single reducer), so this
-    is exactly the "one round, single reducer" computation of Theorem 4.
+    Runs the shared :func:`repro.graph.kernels.delta_stepping` relaxation on
+    the quotient's CSR arrays (unit weights for the unweighted flavour): the
+    quotient graph is small by construction (its size is chosen to fit the
+    local memory of a single reducer), so this is exactly the "one round,
+    single reducer" computation of Theorem 4.
     """
     n = quotient.num_nodes
     if not (0 <= source < n):
         raise IndexError("source out of range")
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    heap = [(0.0, source)]
-    indptr, indices = quotient.graph.indptr, quotient.graph.indices
     weights = quotient.weights
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist[u]:
-            continue
-        start, end = indptr[u], indptr[u + 1]
-        for pos in range(start, end):
-            v = int(indices[pos])
-            w = 1.0 if weights is None else float(weights[pos])
-            nd = d + w
-            if nd < dist[v]:
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
+    if weights is None:
+        weights = np.ones(quotient.graph.indices.size, dtype=np.float64)
+    dist, _ = kernels.delta_stepping(
+        quotient.graph.indptr,
+        quotient.graph.indices,
+        weights,
+        np.asarray([source], dtype=np.int64),
+    )
     return dist
 
 

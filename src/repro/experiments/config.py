@@ -54,9 +54,12 @@ class ExperimentConfig:
         time of the harness itself.
     decomposition_method:
         Decomposition algorithm used by the pipeline-driven experiments
-        (``cluster`` / ``cluster2`` / ``mpx`` / ``single-batch``; the CLI's
-        ``--method`` flag).  The paper-table reproductions always pin their
-        own methods.
+        (``cluster`` / ``cluster2`` / ``mpx`` / ``single-batch`` /
+        ``weighted``; the CLI's ``--method`` flag).  With ``weighted`` the
+        pipeline experiment attaches seeded uniform edge weights to the
+        benchmark graphs (via :func:`repro.generators.attach_weights`) and
+        runs the §7 hop-bounded weighted decomposition end to end.  The
+        paper-table reproductions always pin their own methods.
     """
 
     seed: int = 20150613

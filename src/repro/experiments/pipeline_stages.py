@@ -5,10 +5,15 @@ quotient → diameter bounds → MR accounting) on each benchmark graph with the
 configured decomposition method, reporting per-stage wall-clock timings next
 to the quality numbers.  This is both a smoke test of the full serving path
 and the CLI surface for comparing decomposition methods
-(``--method cluster|cluster2|mpx|single-batch``) under identical downstream
-stages::
+(``--method cluster|cluster2|mpx|single-batch|weighted``) under identical
+downstream stages::
 
     python -m repro.experiments pipeline --method mpx --datasets mesh
+    python -m repro.experiments pipeline --method weighted --scale small
+
+The ``weighted`` method attaches seeded uniform edge weights to the benchmark
+graphs (:func:`repro.generators.attach_weights`) and reports the §7 weighted
+diameter bounds instead of the hop bounds.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
 from repro.experiments.datasets import dataset_names, load_dataset, reference_diameter
+from repro.generators import attach_weights
 from repro.utils.rng import spawn_rngs
 
 __all__ = ["run_pipeline"]
@@ -33,6 +39,8 @@ def run_pipeline(
     rows: List[Dict] = []
     for name, rng in zip(names, spawn_rngs(config.seed + 23, len(names))):
         graph = load_dataset(name, scale)
+        if config.decomposition_method == "weighted":
+            graph = attach_weights(graph, "uniform", seed=rng)
         target = granularity_for(name, graph.num_nodes, config=config)
         pipeline = config.pipeline(graph, target_clusters=target, seed=rng)
         result = pipeline.run()

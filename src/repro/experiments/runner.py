@@ -140,9 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-hadi", action="store_true",
                         help="skip the HADI baseline in table4 (it is slow by design)")
     parser.add_argument("--method", default=None,
-                        choices=["cluster", "cluster2", "mpx", "single-batch"],
+                        choices=["cluster", "cluster2", "mpx", "single-batch", "weighted"],
                         help="decomposition method for the pipeline experiment "
-                             "(default: cluster)")
+                             "(default: cluster; 'weighted' runs the §7 hop-bounded "
+                             "weighted decomposition on weighted generator outputs)")
     parser.add_argument("--backend", default=None, choices=available_backends(),
                         help="MR execution backend for the metered drivers "
                              "(default: serial; results are backend-independent)")

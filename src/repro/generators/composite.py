@@ -11,14 +11,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph.builders import add_path, connect_graphs
-from repro.graph.csr import CSRGraph
 from repro.generators.mesh import path_graph
 from repro.generators.random_graphs import random_regular_graph
+from repro.generators.weights import maybe_attach_weights
+from repro.graph.builders import add_path, connect_graphs
+from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["expander_with_path", "with_tail", "tail_family"]
@@ -30,6 +31,8 @@ def expander_with_path(
     degree: int = 4,
     path_length: Optional[int] = None,
     seed: SeedLike = None,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
 ) -> CSRGraph:
     """Constant-degree expander with an attached path (paper §3 example).
 
@@ -56,7 +59,8 @@ def expander_with_path(
     expander = random_regular_graph(expander_size, degree, seed=rng)
     path = path_graph(path_length)
     attach_at = int(rng.integers(0, expander_size))
-    return connect_graphs(expander, path, bridges=[(attach_at, 0)])
+    graph = connect_graphs(expander, path, bridges=[(attach_at, 0)])
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)
 
 
 def with_tail(

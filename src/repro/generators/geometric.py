@@ -13,11 +13,14 @@ dimension.  We reproduce that regime with two families:
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
+from repro.generators.mesh import mesh_graph
+from repro.generators.weights import maybe_attach_weights
 from repro.graph.components import largest_component
 from repro.graph.csr import CSRGraph
-from repro.generators.mesh import mesh_graph
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["random_geometric_graph", "road_network_graph"]
@@ -29,6 +32,8 @@ def random_geometric_graph(
     *,
     seed: SeedLike = None,
     connected_only: bool = True,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
 ) -> CSRGraph:
     """Random geometric graph in the unit square.
 
@@ -84,7 +89,7 @@ def random_geometric_graph(
     graph = CSRGraph.from_edges(edge_array, num_nodes=num_nodes)
     if connected_only and graph.num_nodes:
         graph, _ = largest_component(graph)
-    return graph
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)
 
 
 def road_network_graph(
@@ -94,6 +99,8 @@ def road_network_graph(
     removal_probability: float = 0.25,
     shortcut_fraction: float = 0.002,
     seed: SeedLike = None,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
 ) -> CSRGraph:
     """Perturbed-grid road network.
 
@@ -132,4 +139,4 @@ def road_network_graph(
 
     graph = CSRGraph.from_edges(edges, num_nodes=rows * cols)
     graph, _ = largest_component(graph)
-    return graph
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)

@@ -4,18 +4,33 @@ The paper's benchmark set includes a synthetic ``1000 x 1000`` mesh because
 its doubling dimension is known and constant (b = 2), making it a graph on
 which the algorithms are provably effective.  We expose the same family at
 arbitrary (laptop-scale) sizes.
+
+Every generator accepts ``weights=`` (``"uniform"`` / ``"degree"``, see
+:func:`repro.generators.attach_weights`) to emit a weighted graph directly in
+CSR arrays; ``seed`` feeds the weight draws (the topology is deterministic).
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
+from repro.generators.weights import maybe_attach_weights
 from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike
 
 __all__ = ["mesh_graph", "torus_graph", "path_graph", "cycle_graph"]
 
 
-def mesh_graph(rows: int, cols: int) -> CSRGraph:
+def mesh_graph(
+    rows: int,
+    cols: int,
+    *,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> CSRGraph:
     """4-connected ``rows x cols`` grid graph.
 
     Node ``(i, j)`` has id ``i * cols + j``.  The diameter of the mesh is
@@ -27,10 +42,18 @@ def mesh_graph(rows: int, cols: int) -> CSRGraph:
     horizontal = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
     vertical = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
     edges = np.concatenate([horizontal, vertical], axis=0)
-    return CSRGraph.from_edges(edges, num_nodes=rows * cols)
+    graph = CSRGraph.from_edges(edges, num_nodes=rows * cols)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=seed)
 
 
-def torus_graph(rows: int, cols: int) -> CSRGraph:
+def torus_graph(
+    rows: int,
+    cols: int,
+    *,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> CSRGraph:
     """``rows x cols`` grid with wrap-around edges (4-regular when sizes > 2)."""
     if rows <= 0 or cols <= 0:
         raise ValueError("rows and cols must be positive")
@@ -38,24 +61,40 @@ def torus_graph(rows: int, cols: int) -> CSRGraph:
     right = np.stack([ids.ravel(), np.roll(ids, -1, axis=1).ravel()], axis=1)
     down = np.stack([ids.ravel(), np.roll(ids, -1, axis=0).ravel()], axis=1)
     edges = np.concatenate([right, down], axis=0)
-    return CSRGraph.from_edges(edges, num_nodes=rows * cols)
+    graph = CSRGraph.from_edges(edges, num_nodes=rows * cols)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=seed)
 
 
-def path_graph(length: int) -> CSRGraph:
+def path_graph(
+    length: int,
+    *,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> CSRGraph:
     """Simple path on ``length`` nodes (diameter ``length - 1``)."""
     if length <= 0:
         raise ValueError("length must be positive")
     if length == 1:
-        return CSRGraph.empty(1)
-    nodes = np.arange(length, dtype=np.int64)
-    edges = np.stack([nodes[:-1], nodes[1:]], axis=1)
-    return CSRGraph.from_edges(edges, num_nodes=length)
+        graph = CSRGraph.empty(1)
+    else:
+        nodes = np.arange(length, dtype=np.int64)
+        edges = np.stack([nodes[:-1], nodes[1:]], axis=1)
+        graph = CSRGraph.from_edges(edges, num_nodes=length)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=seed)
 
 
-def cycle_graph(length: int) -> CSRGraph:
+def cycle_graph(
+    length: int,
+    *,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> CSRGraph:
     """Cycle on ``length`` nodes (diameter ``floor(length / 2)``)."""
     if length < 3:
         raise ValueError("a cycle needs at least 3 nodes")
     nodes = np.arange(length, dtype=np.int64)
     edges = np.stack([nodes, np.roll(nodes, -1)], axis=1)
-    return CSRGraph.from_edges(edges, num_nodes=length)
+    graph = CSRGraph.from_edges(edges, num_nodes=length)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=seed)

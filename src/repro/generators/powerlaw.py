@@ -7,15 +7,25 @@ DESIGN.md).
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
+from repro.generators.weights import maybe_attach_weights
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["barabasi_albert_graph"]
 
 
-def barabasi_albert_graph(num_nodes: int, attachment: int, *, seed: SeedLike = None) -> CSRGraph:
+def barabasi_albert_graph(
+    num_nodes: int,
+    attachment: int,
+    *,
+    seed: SeedLike = None,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+) -> CSRGraph:
     """Barabási–Albert preferential-attachment graph.
 
     Starts from a clique on ``attachment + 1`` nodes; every subsequent node
@@ -65,4 +75,5 @@ def barabasi_albert_graph(num_nodes: int, attachment: int, *, seed: SeedLike = N
     edges = np.stack(
         [np.asarray(edge_src, dtype=np.int64), np.asarray(edge_dst, dtype=np.int64)], axis=1
     )
-    return CSRGraph.from_edges(edges, num_nodes=num_nodes)
+    graph = CSRGraph.from_edges(edges, num_nodes=num_nodes)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)

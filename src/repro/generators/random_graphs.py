@@ -1,16 +1,31 @@
-"""Classic random-graph models: Erdős–Rényi and random regular (expanders)."""
+"""Classic random-graph models: Erdős–Rényi and random regular (expanders).
+
+Every generator accepts ``weights=`` (``"uniform"`` / ``"degree"``, see
+:func:`repro.generators.attach_weights`) to emit a weighted graph directly in
+CSR arrays from the same seeded RNG.
+"""
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
+from repro.generators.weights import maybe_attach_weights
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["erdos_renyi_graph", "random_regular_graph", "gnm_graph"]
 
 
-def erdos_renyi_graph(num_nodes: int, probability: float, *, seed: SeedLike = None) -> CSRGraph:
+def erdos_renyi_graph(
+    num_nodes: int,
+    probability: float,
+    *,
+    seed: SeedLike = None,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+) -> CSRGraph:
     """G(n, p) random graph.
 
     Sampled by drawing the number of edges from a binomial distribution and
@@ -22,6 +37,13 @@ def erdos_renyi_graph(num_nodes: int, probability: float, *, seed: SeedLike = No
     if not (0.0 <= probability <= 1.0):
         raise ValueError("probability must lie in [0, 1]")
     rng = as_rng(seed)
+    graph = _erdos_renyi_topology(num_nodes, probability, rng)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)
+
+
+def _erdos_renyi_topology(
+    num_nodes: int, probability: float, rng: np.random.Generator
+) -> CSRGraph:
     possible = num_nodes * (num_nodes - 1) // 2
     if possible == 0 or probability == 0.0:
         return CSRGraph.empty(num_nodes)
@@ -48,7 +70,14 @@ def erdos_renyi_graph(num_nodes: int, probability: float, *, seed: SeedLike = No
     return CSRGraph.from_edges(pairs, num_nodes=num_nodes)
 
 
-def gnm_graph(num_nodes: int, num_edges: int, *, seed: SeedLike = None) -> CSRGraph:
+def gnm_graph(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    seed: SeedLike = None,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+) -> CSRGraph:
     """G(n, m): exactly ``num_edges`` distinct edges chosen uniformly."""
     if num_nodes < 0 or num_edges < 0:
         raise ValueError("num_nodes and num_edges must be non-negative")
@@ -74,10 +103,19 @@ def gnm_graph(num_nodes: int, num_edges: int, *, seed: SeedLike = None) -> CSRGr
             count += 1
             if count == num_edges:
                 break
-    return CSRGraph.from_edges(edges, num_nodes=num_nodes)
+    graph = CSRGraph.from_edges(edges, num_nodes=num_nodes)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)
 
 
-def random_regular_graph(num_nodes: int, degree: int, *, seed: SeedLike = None, max_retries: int = 50) -> CSRGraph:
+def random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    *,
+    seed: SeedLike = None,
+    max_retries: int = 50,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
+) -> CSRGraph:
     """Random ``degree``-regular multigraph simplified to a graph.
 
     Uses the configuration model (random perfect matching of half-edges) and
@@ -93,9 +131,11 @@ def random_regular_graph(num_nodes: int, degree: int, *, seed: SeedLike = None, 
     if (num_nodes * degree) % 2 != 0:
         raise ValueError("num_nodes * degree must be even")
     if degree == 0:
-        return CSRGraph.empty(num_nodes)
+        graph = CSRGraph.empty(num_nodes)
+        return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=seed)
     rng = as_rng(seed)
     stubs = np.repeat(np.arange(num_nodes, dtype=np.int64), degree)
+    graph = None
     for _ in range(max_retries):
         permuted = rng.permutation(stubs)
         pairs = permuted.reshape(-1, 2)
@@ -104,9 +144,11 @@ def random_regular_graph(num_nodes: int, degree: int, *, seed: SeedLike = None, 
         unique = np.unique(canonical, axis=0)
         has_multi_edges = unique.shape[0] != pairs.shape[0]
         if not has_self_loops and not has_multi_edges:
-            return CSRGraph.from_edges(pairs, num_nodes=num_nodes)
-    # Fall back to the simplified multigraph (still near-regular, still an
-    # expander in practice); callers that need exact regularity can retry
-    # with a different seed.
-    graph = CSRGraph.from_edges(pairs, num_nodes=num_nodes)
-    return graph
+            graph = CSRGraph.from_edges(pairs, num_nodes=num_nodes)
+            break
+    if graph is None:
+        # Fall back to the simplified multigraph (still near-regular, still an
+        # expander in practice); callers that need exact regularity can retry
+        # with a different seed.
+        graph = CSRGraph.from_edges(pairs, num_nodes=num_nodes)
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)

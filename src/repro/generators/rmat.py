@@ -9,8 +9,11 @@ paper's preprocessing of the Twitter crawl.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
+from repro.generators.weights import maybe_attach_weights
 from repro.graph.builders import symmetrize_edges
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, as_rng
@@ -27,6 +30,8 @@ def rmat_graph(
     c: float = 0.19,
     seed: SeedLike = None,
     connected_only: bool = False,
+    weights: Optional[str] = None,
+    weight_range: Tuple[float, float] = (1.0, 10.0),
 ) -> CSRGraph:
     """Generate an R-MAT graph with ``2**scale`` nodes.
 
@@ -73,4 +78,4 @@ def rmat_graph(
         from repro.graph.components import largest_component
 
         graph, _ = largest_component(graph)
-    return graph
+    return maybe_attach_weights(graph, weights, weight_range=weight_range, rng=rng)

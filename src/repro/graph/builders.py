@@ -1,4 +1,10 @@
-"""Graph construction helpers: edge manipulation, relabeling, composition."""
+"""Graph construction helpers: edge manipulation, relabeling, composition.
+
+All composition helpers operate on the unified substrate: weighted inputs
+keep their edge weights (new edges carry an explicit default weight), so the
+composite generators' ``weights=`` option flows through ``add_path`` /
+``connect_graphs`` / ``disjoint_union`` unchanged.
+"""
 
 from __future__ import annotations
 
@@ -64,12 +70,25 @@ def relabel_compact(edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return inverse.reshape(-1, 2).astype(np.int64), original_ids
 
 
-def add_path(graph: CSRGraph, length: int, attach_to: int) -> CSRGraph:
+def _build(edges: np.ndarray, num_nodes: int, weights: Optional[np.ndarray]) -> CSRGraph:
+    """Construct the right substrate class for the (possibly weighted) edges."""
+    if weights is None:
+        return CSRGraph.from_edges(edges, num_nodes=num_nodes)
+    from repro.weighted.wgraph import WeightedCSRGraph
+
+    return WeightedCSRGraph.from_edges(edges, num_nodes=num_nodes, weights=weights)
+
+
+def add_path(
+    graph: CSRGraph, length: int, attach_to: int, *, edge_weight: float = 1.0
+) -> CSRGraph:
     """Append a simple path of ``length`` new nodes to node ``attach_to``.
 
     This reproduces the "tail" construction of the paper's third experiment
     (Figure 1): a chain of ``c * diameter`` extra nodes appended to a randomly
     chosen node, stretching the diameter without altering the base structure.
+    Weighted bases keep their edge weights; the new chain edges carry
+    ``edge_weight``.
     """
     if length < 0:
         raise ValueError("length must be non-negative")
@@ -81,34 +100,60 @@ def add_path(graph: CSRGraph, length: int, attach_to: int) -> CSRGraph:
     new_nodes = np.arange(n, n + length, dtype=np.int64)
     chain_src = np.concatenate([[attach_to], new_nodes[:-1]])
     chain_edges = np.stack([chain_src, new_nodes], axis=1)
-    edges = np.concatenate([graph.edges(), chain_edges], axis=0)
-    return CSRGraph.from_edges(edges, num_nodes=n + length)
+    base_edges, base_weights = graph.edge_list()
+    edges = np.concatenate([base_edges, chain_edges], axis=0)
+    weights = None
+    if base_weights is not None:
+        weights = np.concatenate([base_weights, np.full(length, float(edge_weight))])
+    return _build(edges, n + length, weights)
 
 
 def disjoint_union(graphs: Sequence[CSRGraph]) -> CSRGraph:
-    """Disjoint union of several graphs (node ids shifted block-wise)."""
+    """Disjoint union of several graphs (node ids shifted block-wise).
+
+    Edge weights are preserved when *every* input is weighted; mixing weighted
+    and unweighted inputs is rejected (lift the unweighted ones first).
+    """
     if not graphs:
         return CSRGraph.empty(0)
+    weighted_flags = [g.weights is not None for g in graphs]
+    if any(weighted_flags) and not all(weighted_flags):
+        raise ValueError(
+            "cannot union weighted and unweighted graphs; lift the unweighted "
+            "inputs with WeightedCSRGraph.from_unit_graph first"
+        )
     offset = 0
     all_edges = []
+    all_weights = []
     for g in graphs:
         if g.num_edges:
-            all_edges.append(g.edges() + offset)
+            edges, weights = g.edge_list()
+            all_edges.append(edges + offset)
+            if weights is not None:
+                all_weights.append(weights)
         offset += g.num_nodes
     if all_edges:
         edges = np.concatenate(all_edges, axis=0)
     else:
         edges = np.zeros((0, 2), dtype=np.int64)
-    return CSRGraph.from_edges(edges, num_nodes=offset)
+    weights = np.concatenate(all_weights) if all_weights else None
+    if all(weighted_flags) and weights is None:
+        weights = np.zeros(0, dtype=np.float64)
+    return _build(edges, offset, weights)
 
 
 def connect_graphs(
-    first: CSRGraph, second: CSRGraph, bridges: Sequence[Tuple[int, int]]
+    first: CSRGraph,
+    second: CSRGraph,
+    bridges: Sequence[Tuple[int, int]],
+    *,
+    bridge_weight: float = 1.0,
 ) -> CSRGraph:
     """Union of two graphs plus ``bridges`` edges ``(u_in_first, v_in_second)``.
 
     Used by the composite generators (expander + path of the paper's Section 3
-    example) to attach structures with controlled connectivity.
+    example) to attach structures with controlled connectivity.  When both
+    inputs are weighted the bridges carry ``bridge_weight``.
     """
     union = disjoint_union([first, second])
     if not bridges:
@@ -122,5 +167,11 @@ def connect_graphs(
             raise IndexError("bridge endpoint out of range in first graph")
         if (bridge_edges[:, 1] - offset).max() >= second.num_nodes:
             raise IndexError("bridge endpoint out of range in second graph")
-    edges = np.concatenate([union.edges(), bridge_edges], axis=0)
-    return CSRGraph.from_edges(edges, num_nodes=union.num_nodes)
+    union_edges, union_weights = union.edge_list()
+    edges = np.concatenate([union_edges, bridge_edges], axis=0)
+    weights = None
+    if union_weights is not None:
+        weights = np.concatenate(
+            [union_weights, np.full(bridge_edges.shape[0], float(bridge_weight))]
+        )
+    return _build(edges, union.num_nodes, weights)

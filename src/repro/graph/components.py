@@ -6,6 +6,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -22,26 +23,11 @@ def connected_components(graph: CSRGraph) -> np.ndarray:
 
     Returns an int64 array ``labels`` with ``labels[v]`` in ``0..c-1``;
     component ids are assigned in increasing order of their smallest node.
-    Runs a sequence of vectorized multi-source BFS sweeps, one per component,
-    so the total work is ``O(n + m)``.
+    Runs the shared :func:`repro.graph.kernels.component_labels` kernel — a
+    sequence of vectorized frontier sweeps, one per component, so the total
+    work is ``O(n + m)``.
     """
-    n = graph.num_nodes
-    labels = -np.ones(n, dtype=np.int64)
-    current = 0
-    for start in range(n):
-        if labels[start] >= 0:
-            continue
-        labels[start] = current
-        frontier = np.asarray([start], dtype=np.int64)
-        while frontier.size:
-            _, targets = graph.neighbor_blocks(frontier)
-            if targets.size == 0:
-                break
-            fresh = np.unique(targets[labels[targets] < 0])
-            labels[fresh] = current
-            frontier = fresh
-        current += 1
-    return labels
+    return kernels.component_labels(graph.indptr, graph.indices)
 
 
 def num_connected_components(graph: CSRGraph) -> int:

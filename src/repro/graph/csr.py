@@ -1,9 +1,17 @@
-"""Compressed-sparse-row graph representation.
+"""Compressed-sparse-row graph representation — the single array-backed core.
 
-The whole library operates on unweighted, undirected graphs stored in CSR
+The whole library operates on undirected graphs stored in CSR
 (adjacency-array) form, which is both the natural in-memory layout for
 vectorized NumPy frontier expansion and the closest analogue to the
 edge-partitioned representation a MapReduce/Spark implementation would use.
+
+:class:`CSRGraph` is the one substrate: ``indptr``/``indices`` plus an
+*optional* aligned ``weights`` array.  The weighted stack
+(:class:`~repro.weighted.wgraph.WeightedCSRGraph`) is a thin subclass that
+makes the weights mandatory and adds weight-flavoured accessors; construction,
+validation (including the per-node sorted-``indices`` invariant that the
+binary-search lookups rely on, with weights permuted alongside), self-loop
+removal, duplicate folding (min weight wins), and IO are all shared here.
 
 Nodes are integers ``0 .. n-1``.  Edges are stored twice (once per endpoint),
 self-loops and parallel edges are removed at construction time.
@@ -16,14 +24,57 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.utils.validation import check_node_index
 
 __all__ = ["CSRGraph"]
 
 
+def _fold_undirected_edges(
+    edge_array: np.ndarray,
+    weight_array: Optional[np.ndarray],
+    num_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Shared edge-list folding: drop self-loops, symmetrize, deduplicate.
+
+    Returns ``(indptr, indices, weights)``.  Duplicate undirected edges keep
+    the *minimum* weight (the only sensible choice for shortest-path
+    purposes); without weights the duplicates are simply dropped.
+    """
+    n = num_nodes
+    mask = edge_array[:, 0] != edge_array[:, 1]
+    edge_array = edge_array[mask]
+    if weight_array is not None:
+        weight_array = weight_array[mask]
+    if edge_array.size == 0:
+        return (
+            np.zeros(n + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            None if weight_array is None else np.zeros(0, dtype=np.float64),
+        )
+    # Canonicalize to (min, max), fold duplicates, then mirror both ways.
+    canonical = np.sort(edge_array, axis=1)
+    keys = canonical[:, 0] * np.int64(n) + canonical[:, 1]
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    unique_edges = np.stack([unique_keys // n, unique_keys % n], axis=1)
+    both = np.concatenate([unique_edges, unique_edges[:, ::-1]], axis=0)
+    both_weights = None
+    if weight_array is not None:
+        folded = np.full(unique_keys.size, np.inf)
+        np.minimum.at(folded, inverse, weight_array)
+        both_weights = np.concatenate([folded, folded])
+    order = np.lexsort((both[:, 1], both[:, 0]))
+    both = both[order]
+    counts = np.bincount(both[:, 0], minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    weights = None if both_weights is None else both_weights[order].copy()
+    return indptr, both[:, 1].copy(), weights
+
+
 @dataclass(frozen=True)
 class CSRGraph:
-    """An immutable unweighted, undirected graph in CSR form.
+    """An immutable undirected graph in CSR form (optionally edge-weighted).
 
     Attributes
     ----------
@@ -33,12 +84,19 @@ class CSRGraph:
     indices:
         ``int64`` array of length ``2 * num_edges`` holding neighbour ids,
         sorted within each node's slice.  Raw-constructor inputs violating the
-        per-node sort order are sorted at construction time, so the invariant
-        (relied upon by ``has_edge``'s binary search) always holds.
+        per-node sort order are sorted at construction time (weights are
+        permuted alongside), so the invariant relied upon by ``has_edge``'s
+        binary search always holds.
+    weights:
+        Optional ``float64`` array aligned with ``indices``: ``weights[p]`` is
+        the strictly positive weight of the arc stored at position ``p`` (both
+        copies of an undirected edge carry the same weight).  ``None`` marks a
+        purely unweighted graph.
     """
 
     indptr: np.ndarray
     indices: np.ndarray
+    weights: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -57,27 +115,43 @@ class CSRGraph:
         n = indptr.size - 1
         if indices.size and (indices.min() < 0 or indices.max() >= n):
             raise ValueError("indices contain node ids outside [0, num_nodes)")
+        weights = self.weights
+        if weights is not None:
+            weights = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
+            if weights.shape != indices.shape:
+                raise ValueError("weights must be aligned with indices")
+            if weights.size and weights.min() <= 0:
+                raise ValueError("edge weights must be strictly positive")
         # Enforce the documented invariant that every node's neighbour slice is
-        # sorted (``has_edge`` binary-searches it): inputs built via the raw
-        # constructor with unsorted rows are sorted here, once.
+        # sorted (``has_edge`` / ``edge_weight`` binary-search it): inputs built
+        # via the raw constructor with unsorted rows are sorted here, once,
+        # with any weights permuted alongside.
         if indices.size > 1:
             descending = np.flatnonzero(indices[1:] < indices[:-1]) + 1
             if descending.size and np.setdiff1d(descending, indptr).size:
                 rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
-                indices = indices[np.lexsort((indices, rows))]
+                order = np.lexsort((indices, rows))
+                indices = indices[order]
+                if weights is not None:
+                    weights = weights[order]
         object.__setattr__(self, "indptr", indptr)
         object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "weights", weights)
 
     @classmethod
     def from_edges(
         cls,
         edges: "np.ndarray | Sequence[Tuple[int, int]]",
         num_nodes: Optional[int] = None,
+        *,
+        weights: "np.ndarray | Sequence[float] | None" = None,
     ) -> "CSRGraph":
         """Build a graph from an ``(m, 2)`` edge array (or list of pairs).
 
         The input is treated as undirected: each edge is inserted in both
-        directions; duplicates and self-loops are dropped.
+        directions; self-loops are dropped.  Without ``weights`` duplicate
+        edges are removed; with ``weights`` (a length-``m`` array of strictly
+        positive values) duplicates keep the minimum weight.
 
         Parameters
         ----------
@@ -86,6 +160,8 @@ class CSRGraph:
         num_nodes:
             Number of nodes.  Defaults to ``max endpoint + 1`` (0 for an empty
             edge list), and may be larger to include isolated nodes.
+        weights:
+            Optional per-edge weights aligned with ``edges``.
         """
         edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
         if edge_array.size == 0:
@@ -93,6 +169,16 @@ class CSRGraph:
         if edge_array.ndim != 2 or edge_array.shape[1] != 2:
             raise ValueError(f"edges must have shape (m, 2), got {edge_array.shape}")
         edge_array = edge_array.astype(np.int64, copy=False)
+        weight_array: Optional[np.ndarray] = None
+        if weights is not None:
+            weight_array = np.asarray(
+                list(weights) if not isinstance(weights, np.ndarray) else weights,
+                dtype=np.float64,
+            ).reshape(-1)
+            if edge_array.shape[0] != weight_array.shape[0]:
+                raise ValueError("edges and weights must have the same length")
+            if weight_array.size and weight_array.min() <= 0:
+                raise ValueError("edge weights must be strictly positive")
         if edge_array.size and edge_array.min() < 0:
             raise ValueError("edge endpoints must be non-negative")
         inferred = int(edge_array.max()) + 1 if edge_array.size else 0
@@ -101,36 +187,25 @@ class CSRGraph:
             raise ValueError(
                 f"num_nodes={n} is smaller than the largest endpoint + 1 ({inferred})"
             )
-
-        # Drop self-loops, symmetrize, deduplicate.
-        mask = edge_array[:, 0] != edge_array[:, 1]
-        edge_array = edge_array[mask]
-        if edge_array.size:
-            both = np.concatenate([edge_array, edge_array[:, ::-1]], axis=0)
-            # Deduplicate directed pairs via lexicographic sort.
-            order = np.lexsort((both[:, 1], both[:, 0]))
-            both = both[order]
-            keep = np.ones(both.shape[0], dtype=bool)
-            keep[1:] = np.any(both[1:] != both[:-1], axis=1)
-            both = both[keep]
-        else:
-            both = edge_array.reshape(0, 2)
-
-        counts = np.bincount(both[:, 0], minlength=n) if n else np.zeros(0, dtype=np.int64)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        indices = both[:, 1].copy()
-        return cls(indptr=indptr, indices=indices)
+        indptr, indices, folded = _fold_undirected_edges(edge_array, weight_array, n)
+        return cls(indptr=indptr, indices=indices, weights=folded)
 
     @classmethod
     def empty(cls, num_nodes: int = 0) -> "CSRGraph":
         """Graph with ``num_nodes`` isolated nodes and no edges."""
         if num_nodes < 0:
             raise ValueError("num_nodes must be non-negative")
+        weights = np.zeros(0, dtype=np.float64) if cls._weights_required() else None
         return cls(
             indptr=np.zeros(num_nodes + 1, dtype=np.int64),
             indices=np.zeros(0, dtype=np.int64),
+            weights=weights,
         )
+
+    @classmethod
+    def _weights_required(cls) -> bool:
+        """Whether this class mandates a weights array (overridden weighted)."""
+        return False
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -149,6 +224,11 @@ class CSRGraph:
     def num_directed_edges(self) -> int:
         """Number of stored arcs (``2m``)."""
         return int(self.indices.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when the graph carries an edge-weight array."""
+        return self.weights is not None
 
     def degree(self, node: Optional[int] = None) -> "np.ndarray | int":
         """Degree of ``node``, or the full degree array if ``node`` is None."""
@@ -172,45 +252,54 @@ class CSRGraph:
         pos = np.searchsorted(row, vi)
         return bool(pos < row.size and row[pos] == vi)
 
+    def edge_list(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """``(edge_array, weights_or_None)`` with each undirected edge once (``u < v``).
+
+        The single place where per-arc storage is folded back to one row per
+        undirected edge with the weight column aligned: IO, the composition
+        builders, and the weighted ``edges()`` accessor all delegate here so
+        the edge/weight alignment cannot drift between them.
+        """
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
+        mask = src < self.indices
+        edges = np.stack([src[mask], self.indices[mask]], axis=1)
+        weights = None if self.weights is None else self.weights[mask]
+        return edges, weights
+
+    def edge_array(self) -> np.ndarray:
+        """``(m, 2)`` array of undirected edges with ``u < v``.
+
+        Unlike :meth:`edges` (whose return type the weighted subclass extends
+        with the weight column) this accessor is shape-stable across the whole
+        substrate, which is what the quotient/decomposition layers consume.
+        """
+        return self.edge_list()[0]
+
     def edges(self) -> np.ndarray:
         """Return an ``(m, 2)`` array of undirected edges with ``u < v``."""
-        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
-        dst = self.indices
-        mask = src < dst
-        return np.stack([src[mask], dst[mask]], axis=1)
+        return self.edge_array()
 
     def neighbor_blocks(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized neighbour gather for a batch of ``nodes``.
 
         Returns ``(sources, targets)`` where ``targets`` is the concatenation
         of the adjacency lists of ``nodes`` and ``sources[i]`` is the node
-        whose adjacency list produced ``targets[i]``.  This is the primitive
-        behind every frontier-expansion step in the library.
+        whose adjacency list produced ``targets[i]``.  This is the
+        :func:`repro.graph.kernels.gather_neighbors` primitive behind every
+        frontier-expansion step in the library.
         """
-        nodes = np.asarray(nodes, dtype=np.int64)
-        if nodes.size == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty
-        starts = self.indptr[nodes]
-        degrees = self.indptr[nodes + 1] - starts
-        total = int(degrees.sum())
-        if total == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty
-        # offsets[i] = position of targets[i] within its source's adjacency list
-        cumulative = np.cumsum(degrees)
-        block_starts = np.repeat(cumulative - degrees, degrees)
-        offsets = np.arange(total, dtype=np.int64) - block_starts
-        positions = np.repeat(starts, degrees) + offsets
-        targets = self.indices[positions]
-        sources = np.repeat(nodes, degrees)
+        sources, targets, _ = kernels.gather_neighbors(self.indptr, self.indices, nodes)
         return sources, targets
+
+    def unweighted(self) -> "CSRGraph":
+        """The hop-metric skeleton of the graph (weights dropped)."""
+        return CSRGraph(indptr=self.indptr.copy(), indices=self.indices.copy())
 
     # ------------------------------------------------------------------ #
     # Transformations
     # ------------------------------------------------------------------ #
     def subgraph(self, nodes: Iterable[int]) -> Tuple["CSRGraph", np.ndarray]:
-        """Induced subgraph on ``nodes``.
+        """Induced subgraph on ``nodes`` (weights carried over when present).
 
         Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original
         id of new node ``i``.
@@ -220,16 +309,28 @@ class CSRGraph:
             raise IndexError("subgraph nodes out of range")
         new_id = -np.ones(self.num_nodes, dtype=np.int64)
         new_id[keep] = np.arange(keep.size, dtype=np.int64)
-        src, dst = self.neighbor_blocks(keep)
+        src, dst, pos = kernels.gather_neighbors(self.indptr, self.indices, keep)
         mask = new_id[dst] >= 0
         edges = np.stack([new_id[src[mask]], new_id[dst[mask]]], axis=1)
-        return CSRGraph.from_edges(edges, num_nodes=keep.size), keep
+        sub_weights = None if self.weights is None else self.weights[pos[mask]]
+        return (
+            type(self).from_edges(edges, num_nodes=keep.size, weights=sub_weights),
+            keep,
+        )
 
     def to_scipy(self):
-        """Return the adjacency matrix as a ``scipy.sparse.csr_matrix``."""
+        """Return the adjacency matrix as a ``scipy.sparse.csr_matrix``.
+
+        Unweighted graphs export 0/1 entries; weighted graphs export the edge
+        weights.
+        """
         from scipy.sparse import csr_matrix
 
-        data = np.ones(self.indices.size, dtype=np.int8)
+        data = (
+            np.ones(self.indices.size, dtype=np.int8)
+            if self.weights is None
+            else self.weights
+        )
         return csr_matrix(
             (data, self.indices, self.indptr),
             shape=(self.num_nodes, self.num_nodes),
@@ -247,9 +348,12 @@ class CSRGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):
             return NotImplemented
+        if (self.weights is None) != (other.weights is None):
+            return False
         return bool(
             np.array_equal(self.indptr, other.indptr)
             and np.array_equal(self.indices, other.indices)
+            and (self.weights is None or np.array_equal(self.weights, other.weights))
         )
 
     def __hash__(self) -> int:  # frozen dataclass with arrays: hash on shape summary

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.graph.components import is_connected
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import bfs_distances, double_sweep
@@ -37,13 +38,14 @@ def _check_connected(graph: CSRGraph) -> None:
 
 
 def diameter_all_pairs(graph: CSRGraph) -> int:
-    """Exact diameter via a BFS from every node (use only for small graphs)."""
+    """Exact diameter via a BFS from every node (use only for small graphs).
+
+    Runs the batched :func:`repro.graph.kernels.eccentricities` kernel over
+    the full node set.
+    """
     _check_connected(graph)
-    best = 0
-    for v in range(graph.num_nodes):
-        dist = bfs_distances(graph, v)
-        best = max(best, int(dist.max()))
-    return best
+    all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+    return int(kernels.eccentricities(graph.indptr, graph.indices, all_nodes).max())
 
 
 def diameter_bounds(graph: CSRGraph, *, rng: Optional[np.random.Generator] = None) -> Tuple[int, int]:
@@ -96,7 +98,11 @@ def diameter_ifub(graph: CSRGraph, *, start: Optional[int] = None) -> int:
         level_nodes = order[np.searchsorted(sorted_depths, level):
                             np.searchsorted(sorted_depths, level + 1)]
         for v in level_nodes:
-            ecc = int(bfs_distances(graph, int(v)).max())
+            ecc = int(
+                kernels.eccentricities(
+                    graph.indptr, graph.indices, np.asarray([v], dtype=np.int64)
+                )[0]
+            )
             lower = max(lower, ecc)
             if lower >= 2 * level:
                 break

@@ -1,8 +1,11 @@
-"""Edge-list input/output.
+"""Edge-list input/output for the unified graph substrate.
 
 Supports the plain whitespace-separated edge-list format used by the SNAP
 datasets the paper evaluates on (``# comment`` lines, one ``u v`` pair per
-line) plus a compact NumPy ``.npz`` format for caching generated graphs.
+line, an optional weight column) plus a compact NumPy ``.npz`` format for
+caching generated graphs.  Both formats round-trip the optional ``weights``
+array of the unified :class:`~repro.graph.csr.CSRGraph` core, so the
+weighted and unweighted stacks share one IO path.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from repro.graph.csr import CSRGraph
 
 PathLike = Union[str, os.PathLike]
 
+_WEIGHTED_MARKER = "# weighted"
+
 __all__ = [
     "load_edge_list",
     "save_edge_list",
@@ -28,14 +33,22 @@ __all__ = [
 ]
 
 
-def parse_edge_list_text(text: str) -> np.ndarray:
+def parse_edge_list_text(
+    text: str, *, with_weights: bool = False
+) -> Union[np.ndarray, Tuple[np.ndarray, Optional[np.ndarray]]]:
     """Parse SNAP-style edge-list text into an ``(m, 2)`` int array.
 
     Lines starting with ``#`` or ``%`` are comments; blank lines are skipped.
-    Each data line must contain at least two whitespace-separated integers
-    (extra columns, e.g. weights or timestamps, are ignored).
+    Each data line must contain at least two whitespace-separated integers.
+    With ``with_weights=True`` the return value is ``(edges, weights)``, where
+    ``weights`` is a float array parsed from the third column when *every*
+    data line carries one (an empty array when there are no data lines), and
+    ``None`` otherwise (so unweighted files and files with non-numeric extra
+    columns stay unweighted).  Without it, extra columns are ignored and only
+    the edge array is returned.
     """
     edges = []
+    weights: Optional[list] = [] if with_weights else None
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith(("#", "%")):
@@ -48,9 +61,22 @@ def parse_edge_list_text(text: str) -> np.ndarray:
         except ValueError as exc:
             raise ValueError(f"line {lineno}: non-integer endpoints in {stripped!r}") from exc
         edges.append((u, v))
+        if weights is not None:
+            if len(parts) >= 3:
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError:
+                    weights = None  # non-numeric extra column: treat as unweighted
+            else:
+                weights = None
     if not edges:
-        return np.zeros((0, 2), dtype=np.int64)
-    return np.asarray(edges, dtype=np.int64)
+        edge_array = np.zeros((0, 2), dtype=np.int64)
+    else:
+        edge_array = np.asarray(edges, dtype=np.int64)
+    if not with_weights:
+        return edge_array
+    weight_array = np.asarray(weights, dtype=np.float64) if weights is not None else None
+    return edge_array, weight_array
 
 
 def load_edge_list(
@@ -59,6 +85,7 @@ def load_edge_list(
     symmetrize: bool = True,
     relabel: bool = True,
     num_nodes: Optional[int] = None,
+    weighted: Optional[bool] = None,
 ) -> Tuple[CSRGraph, np.ndarray]:
     """Load a graph from a whitespace edge-list file.
 
@@ -73,45 +100,97 @@ def load_edge_list(
         Remap arbitrary node ids to a dense ``0..n-1`` range.
     num_nodes:
         Optional explicit node count (only meaningful when ``relabel=False``).
+    weighted:
+        ``True`` parses the third column as edge weights (raising when any
+        data line lacks a numeric one); ``False`` ignores extra columns (the
+        safe reading of SNAP-style files, whose third column is often a
+        timestamp).  The default ``None`` parses weights only for files
+        carrying the ``# weighted`` header marker :func:`save_edge_list`
+        writes, so our own weighted files round-trip while foreign files
+        stay unweighted.
 
     Returns
     -------
     (graph, original_ids):
         ``original_ids[i]`` is the id in the file of node ``i``; when
-        ``relabel=False`` it is simply ``arange(n)``.
+        ``relabel=False`` it is simply ``arange(n)``.  Weighted loads return
+        a :class:`~repro.weighted.wgraph.WeightedCSRGraph` (duplicate
+        undirected edges keep the minimum weight).
     """
     text = Path(path).read_text()
-    edges = parse_edge_list_text(text)
-    if symmetrize:
+    if weighted is None:
+        weighted = any(
+            line.strip() == _WEIGHTED_MARKER for line in text.splitlines()
+        )
+    if weighted:
+        edges, weights = parse_edge_list_text(text, with_weights=True)
+        if weights is None and edges.size:
+            raise ValueError(
+                f"{path}: weighted load requires a numeric third column on every data line"
+            )
+    else:
+        edges, weights = parse_edge_list_text(text), None
+    if weights is None and symmetrize:
         edges = symmetrize_edges(edges)
     if relabel:
         edges, original_ids = relabel_compact(edges)
-        graph = CSRGraph.from_edges(edges, num_nodes=original_ids.size)
+        explicit_nodes = int(original_ids.size)
     else:
-        graph = CSRGraph.from_edges(edges, num_nodes=num_nodes)
+        explicit_nodes = num_nodes
+        original_ids = None
+    if weights is None:
+        graph = CSRGraph.from_edges(edges, num_nodes=explicit_nodes)
+    else:
+        from repro.weighted.wgraph import WeightedCSRGraph
+
+        graph = WeightedCSRGraph.from_edges(edges, num_nodes=explicit_nodes, weights=weights)
+    if original_ids is None:
         original_ids = np.arange(graph.num_nodes, dtype=np.int64)
     return graph, original_ids
 
 
 def save_edge_list(graph: CSRGraph, path: PathLike, *, header: Optional[str] = None) -> None:
-    """Write ``graph`` as a whitespace edge list (each edge once, ``u < v``)."""
-    edges = graph.edges()
+    """Write ``graph`` as a whitespace edge list (each edge once, ``u < v``).
+
+    Weighted graphs emit a third column with the edge weight plus a
+    ``# weighted`` header marker so :func:`load_edge_list` round-trips them.
+    """
+    edges, weights = graph.edge_list()
     buffer = io.StringIO()
     if header:
         for line in header.splitlines():
             buffer.write(f"# {line}\n")
     buffer.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
-    for u, v in edges:
-        buffer.write(f"{int(u)}\t{int(v)}\n")
+    if weights is not None:
+        buffer.write(f"{_WEIGHTED_MARKER}\n")
+    if weights is None:
+        for u, v in edges:
+            buffer.write(f"{int(u)}\t{int(v)}\n")
+    else:
+        for (u, v), w in zip(edges, weights):
+            buffer.write(f"{int(u)}\t{int(v)}\t{float(w)!r}\n")
     Path(path).write_text(buffer.getvalue())
 
 
 def save_npz(graph: CSRGraph, path: PathLike) -> None:
-    """Cache a graph in compressed NumPy format."""
-    np.savez_compressed(Path(path), indptr=graph.indptr, indices=graph.indices)
+    """Cache a graph in compressed NumPy format (weights included if present)."""
+    arrays = {"indptr": graph.indptr, "indices": graph.indices}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(Path(path), **arrays)
 
 
 def load_npz(path: PathLike) -> CSRGraph:
-    """Load a graph previously stored with :func:`save_npz`."""
+    """Load a graph previously stored with :func:`save_npz`.
+
+    Files carrying a ``weights`` array come back as a
+    :class:`~repro.weighted.wgraph.WeightedCSRGraph`.
+    """
     with np.load(Path(path)) as data:
+        if "weights" in data.files:
+            from repro.weighted.wgraph import WeightedCSRGraph
+
+            return WeightedCSRGraph(
+                indptr=data["indptr"], indices=data["indices"], weights=data["weights"]
+            )
         return CSRGraph(indptr=data["indptr"], indices=data["indices"])

@@ -1,0 +1,370 @@
+"""Shared vectorized frontier kernels over raw CSR arrays.
+
+Every traversal in the library — unweighted BFS, disjoint cluster growing,
+connected components, exact Dijkstra, and the hop-bounded weighted relaxation
+of the §7 decomposition — is built from the same handful of array operations:
+gather the adjacency blocks of a frontier, resolve one claim per contested
+target, and iterate level-synchronously.  This module implements those
+operations exactly once, on raw ``indptr`` / ``indices`` (/ ``weights``)
+arrays so that :class:`~repro.graph.csr.CSRGraph`, the weighted subclass, the
+:class:`~repro.core.growth_engine.GrowthEngine` policies, and the quotient
+graph machinery can all share them without import cycles.
+
+Kernel families
+---------------
+* :func:`gather_neighbors` — the frontier-expansion gather primitive (also
+  returns the arc *positions* so weighted callers can align edge weights).
+* :func:`claim_first` / :func:`claim_min` — keep exactly one claimant per
+  contested target (the arbitrary and the min-key tie-break, respectively).
+* :func:`frontier_expansion` — level-synchronous multi-source BFS with owner
+  tracking and an optional per-level hook (used by the MR-metered BFS).
+* :func:`component_labels` / :func:`eccentricities` — BFS-derived utilities.
+* :func:`delta_stepping` — bucketed relaxation computing *exact* weighted
+  shortest paths (the vectorized replacement for per-node binary-heap
+  Dijkstra loops).
+* :func:`hop_bounded_relaxation` — level-synchronous Bellman–Ford rounds
+  bounding the number of hops (the relaxation pattern of the weighted
+  decomposition, exposed as a standalone kernel).
+* :func:`neighbor_reduce` — per-node reduction of neighbour values (the
+  HADI/ANF sketch-propagation primitive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gather_neighbors",
+    "claim_first",
+    "claim_min",
+    "frontier_expansion",
+    "component_labels",
+    "eccentricities",
+    "delta_stepping",
+    "hop_bounded_relaxation",
+    "neighbor_reduce",
+    "reduce_segments",
+]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# Gather / claim primitives
+# --------------------------------------------------------------------------- #
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized adjacency gather for a batch of ``nodes``.
+
+    Returns ``(sources, targets, positions)`` where ``targets`` is the
+    concatenation of the adjacency slices of ``nodes``, ``sources[i]`` is the
+    node whose slice produced ``targets[i]``, and ``positions[i]`` is the
+    index of that arc in ``indices`` (so aligned arrays — e.g. edge weights —
+    can be gathered with ``weights[positions]``).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    starts = indptr[nodes]
+    degrees = indptr[nodes + 1] - starts
+    total = int(degrees.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    # offsets[i] = position of targets[i] within its source's adjacency slice
+    cumulative = np.cumsum(degrees)
+    block_starts = np.repeat(cumulative - degrees, degrees)
+    offsets = np.arange(total, dtype=np.int64) - block_starts
+    positions = np.repeat(starts, degrees) + offsets
+    return np.repeat(nodes, degrees), indices[positions], positions
+
+
+def claim_first(dst: np.ndarray, src: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep the first claim per target in the concatenated adjacency scan.
+
+    Returns ``(targets, parents)`` with one entry per distinct target; the
+    surviving parent is the first occurrence after a stable sort by target,
+    which is the arbitrary-but-deterministic tie-break of the paper's
+    Algorithm 1 (and of multi-source BFS).
+    """
+    order = np.argsort(dst, kind="stable")
+    dst_sorted = dst[order]
+    src_sorted = src[order]
+    first = np.ones(dst_sorted.size, dtype=bool)
+    first[1:] = dst_sorted[1:] != dst_sorted[:-1]
+    return dst_sorted[first], src_sorted[first]
+
+
+def claim_min(
+    dst: np.ndarray, src: np.ndarray, key: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Keep, per target, the claim with the smallest ``key``.
+
+    Returns ``(targets, parents, keys)``; ties on the key fall back to the
+    stable gather order.  This is the min-weight tie-break of the weighted
+    decomposition and the bucket-relaxation step of :func:`delta_stepping`.
+    """
+    order = np.lexsort((key, dst))
+    dst_sorted = dst[order]
+    first = np.ones(dst_sorted.size, dtype=bool)
+    first[1:] = dst_sorted[1:] != dst_sorted[:-1]
+    return dst_sorted[first], src[order][first], key[order][first]
+
+
+# --------------------------------------------------------------------------- #
+# Level-synchronous BFS and derived utilities
+# --------------------------------------------------------------------------- #
+def frontier_expansion(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: np.ndarray,
+    *,
+    max_depth: Optional[int] = None,
+    on_level: Optional[Callable[[np.ndarray], None]] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Level-synchronous multi-source BFS.
+
+    Returns ``(distances, owners, num_levels)``: hop distances (``-1`` when
+    unreached), the source whose tree claimed each node (``-1`` when
+    unreached; ties within a level resolved by :func:`claim_first`), and the
+    number of productive expansion rounds.  ``sources`` must be unique and in
+    range (callers validate).  ``on_level`` is invoked with the current
+    frontier at the start of every expansion attempt — including a final
+    fruitless one — which is exactly the per-round accounting hook the
+    MR-metered BFS drivers need.
+    """
+    n = indptr.size - 1
+    distances = np.full(n, -1, dtype=np.int64)
+    owners = np.full(n, -1, dtype=np.int64)
+    if sources.size == 0:
+        return distances, owners, 0
+    distances[sources] = 0
+    owners[sources] = sources
+    frontier = sources
+    level = 0
+    while frontier.size and (max_depth is None or level < max_depth):
+        if on_level is not None:
+            on_level(frontier)
+        src, dst, _ = gather_neighbors(indptr, indices, frontier)
+        if dst.size == 0:
+            break
+        unvisited = distances[dst] == -1
+        dst = dst[unvisited]
+        src = src[unvisited]
+        if dst.size == 0:
+            break
+        new_nodes, parents = claim_first(dst, src)
+        level += 1
+        distances[new_nodes] = level
+        owners[new_nodes] = owners[parents]
+        frontier = new_nodes
+    return distances, owners, level
+
+
+def component_labels(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Connected-component labels via successive frontier sweeps.
+
+    ``labels[v]`` lies in ``0..c-1``; component ids are assigned in increasing
+    order of their smallest node.  Each component costs one level-synchronous
+    sweep over its own edges, so the total work is ``O(n + m)``.
+    """
+    n = indptr.size - 1
+    labels = -np.ones(n, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = current
+        frontier = np.asarray([start], dtype=np.int64)
+        while frontier.size:
+            _, targets, _ = gather_neighbors(indptr, indices, frontier)
+            if targets.size == 0:
+                break
+            fresh = np.unique(targets[labels[targets] < 0])
+            labels[fresh] = current
+            frontier = fresh
+        current += 1
+    return labels
+
+
+def eccentricities(
+    indptr: np.ndarray, indices: np.ndarray, sources: np.ndarray
+) -> np.ndarray:
+    """Hop eccentricity of every node in ``sources`` within its component.
+
+    One BFS per source (isolated nodes report 0); the batched form keeps the
+    all-pairs and iFUB diameter loops on the shared kernel.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    out = np.zeros(sources.size, dtype=np.int64)
+    for i, source in enumerate(sources):
+        distances, _, _ = frontier_expansion(
+            indptr, indices, np.asarray([source], dtype=np.int64)
+        )
+        reached = distances[distances >= 0]
+        out[i] = int(reached.max()) if reached.size else 0
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Weighted relaxation kernels
+# --------------------------------------------------------------------------- #
+def delta_stepping(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    sources: np.ndarray,
+    *,
+    delta: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact multi-source weighted shortest paths via bucketed relaxation.
+
+    A delta-stepping-style schedule: tentative distances are grouped into
+    buckets of width ``delta``; the lowest non-empty bucket is relaxed to a
+    fixpoint (vectorized gather + :func:`claim_min` per inner round) before
+    the next bucket opens.  Edge weights are strictly positive, so once a
+    bucket reaches its fixpoint every node settled in it is final — the
+    result is *exact* shortest paths, identical to Dijkstra, with the hot
+    loop running over whole frontiers instead of one heap pop per node.
+
+    Returns ``(distances, owners)``: ``float64`` distances (``inf`` when
+    unreachable) and the source whose shortest-path tree contains each node
+    (``-1`` when unreachable).
+    """
+    n = indptr.size - 1
+    dist = np.full(n, np.inf)
+    owner = np.full(n, -1, dtype=np.int64)
+    if sources.size == 0 or n == 0:
+        return dist, owner
+    dist[sources] = 0.0
+    owner[sources] = sources
+    if indices.size == 0:
+        return dist, owner
+    if delta is None:
+        # Bucket width of the order of the mean edge weight keeps the number
+        # of buckets near (weighted diameter / mean weight) while bounding
+        # the re-relaxation work inside each bucket.
+        delta = float(weights.mean()) or 1.0
+    delta = max(float(delta), np.finfo(np.float64).tiny)
+    settled = np.zeros(n, dtype=bool)
+    while True:
+        open_mask = np.isfinite(dist) & ~settled
+        if not np.any(open_mask):
+            break
+        boundary = (np.floor(dist[open_mask].min() / delta) + 1.0) * delta
+        frontier = np.flatnonzero(open_mask & (dist < boundary))
+        while frontier.size:
+            settled[frontier] = True
+            src, dst, pos = gather_neighbors(indptr, indices, frontier)
+            if dst.size == 0:
+                break
+            candidate = dist[src] + weights[pos]
+            improving = candidate < dist[dst]
+            if not np.any(improving):
+                break
+            # claim_min's keys are minima of already-improving candidates and
+            # dist is untouched in between, so every claim wins: apply directly.
+            targets, parents, keys = claim_min(
+                dst[improving], src[improving], candidate[improving]
+            )
+            dist[targets] = keys
+            owner[targets] = owner[parents]
+            # Re-open improved nodes; those still inside the current bucket
+            # are relaxed again this phase, the rest wait for their bucket.
+            settled[targets] = False
+            frontier = targets[dist[targets] < boundary]
+    return dist, owner
+
+
+def hop_bounded_relaxation(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    sources: np.ndarray,
+    *,
+    max_hops: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Level-synchronous Bellman–Ford: min weighted distance over ≤ h hops.
+
+    Each round relaxes every arc leaving the nodes improved in the previous
+    round (one parallel round per hop), so after round ``h`` every node holds
+    the minimum weighted length over paths with at most ``h`` edges — the
+    relaxation pattern underlying the §7 hop-bounded weighted decomposition.
+    With ``max_hops=None`` the rounds run to a fixpoint, which yields exact
+    shortest paths (at a higher cost than :func:`delta_stepping`).
+
+    Returns ``(distances, owners, hops)`` where ``hops[v]`` is the round in
+    which ``v`` received its final distance (0 for sources, -1 unreached).
+    """
+    n = indptr.size - 1
+    dist = np.full(n, np.inf)
+    owner = np.full(n, -1, dtype=np.int64)
+    hops = np.full(n, -1, dtype=np.int64)
+    if sources.size == 0 or n == 0:
+        return dist, owner, hops
+    dist[sources] = 0.0
+    owner[sources] = sources
+    hops[sources] = 0
+    frontier = sources
+    round_index = 0
+    while frontier.size and (max_hops is None or round_index < max_hops):
+        src, dst, pos = gather_neighbors(indptr, indices, frontier)
+        if dst.size == 0:
+            break
+        candidate = dist[src] + weights[pos]
+        improving = candidate < dist[dst]
+        if not np.any(improving):
+            break
+        # As in delta_stepping: claimed keys always beat dist, apply directly.
+        targets, parents, keys = claim_min(
+            dst[improving], src[improving], candidate[improving]
+        )
+        round_index += 1
+        dist[targets] = keys
+        owner[targets] = owner[parents]
+        hops[targets] = round_index
+        frontier = targets
+    return dist, owner, hops
+
+
+# --------------------------------------------------------------------------- #
+# Whole-graph neighbour reductions
+# --------------------------------------------------------------------------- #
+def reduce_segments(indptr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Precompute :func:`neighbor_reduce` segment metadata for ``indptr``.
+
+    Returns ``(has_neighbors, segment_starts)``.  Both arrays depend only on
+    the graph structure, so iterative callers (HADI runs one reduction per
+    round) hoist this out of their loop and pass the result back in.
+    """
+    has_neighbors = np.diff(indptr) > 0
+    return has_neighbors, indptr[:-1][has_neighbors]
+
+
+def neighbor_reduce(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    ufunc: np.ufunc,
+    *,
+    segments: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce every node's neighbour values with ``ufunc`` (e.g. bitwise OR).
+
+    ``values`` is indexed by node id along axis 0; the reduction gathers
+    ``values[indices]`` and applies ``ufunc.reduceat`` per adjacency slice.
+    Returns ``(has_neighbors, reduced)`` where ``reduced`` holds one row per
+    node *with* neighbours (zero-degree nodes are excluded so the ``reduceat``
+    segment boundaries stay exact).  This full-frontier gather is one parallel
+    round shuffling a value along every arc — the HADI/ANF iteration.
+
+    ``segments`` takes a precomputed :func:`reduce_segments` result so
+    repeated reductions over the same graph skip the per-call O(n) setup.
+    """
+    has_neighbors, segment_starts = reduce_segments(indptr) if segments is None else segments
+    if segment_starts.size == 0:
+        return has_neighbors, values[:0]
+    gathered = values[indices]
+    return has_neighbors, ufunc.reduceat(gathered, segment_starts, axis=0)

@@ -1,10 +1,11 @@
 """Breadth-first traversals.
 
 Every traversal in the library is *level-synchronous* and vectorized: a
-frontier (array of node ids) is expanded one hop at a time with
-:meth:`CSRGraph.neighbor_blocks`.  This matches both the way the paper's
-algorithms are specified (cluster-growing steps) and the way they would be
-executed as MapReduce rounds, and it keeps the hot loops inside NumPy.
+frontier (array of node ids) is expanded one hop at a time with the shared
+:func:`repro.graph.kernels.frontier_expansion` kernel.  This matches both the
+way the paper's algorithms are specified (cluster-growing steps) and the way
+they would be executed as MapReduce rounds, and it keeps the hot loops inside
+NumPy.  This module is the thin graph-object API over those kernels.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 from repro.utils.validation import check_node_index
 
@@ -66,43 +68,18 @@ def multi_source_bfs(
     """Level-synchronous BFS from a set of sources.
 
     When multiple sources reach a node in the same round, the node is assigned
-    to exactly one of them (first occurrence after a stable sort), mirroring
-    the arbitrary tie-breaking of the paper's disjoint cluster growing.
+    to exactly one of them (the :func:`repro.graph.kernels.claim_first`
+    tie-break), mirroring the arbitrary tie-breaking of the paper's disjoint
+    cluster growing.
     """
     n = graph.num_nodes
     source_array = np.unique(np.asarray(list(sources), dtype=np.int64))
     if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
         raise IndexError("BFS source out of range")
-    distances = np.full(n, UNREACHED, dtype=np.int64)
-    owners = np.full(n, UNREACHED, dtype=np.int64)
-    if source_array.size == 0:
-        return BFSResult(distances=distances, sources=owners, num_levels=0)
-    distances[source_array] = 0
-    owners[source_array] = source_array
-    frontier = source_array
-    level = 0
-    while frontier.size and (max_depth is None or level < max_depth):
-        src, dst = graph.neighbor_blocks(frontier)
-        if dst.size == 0:
-            break
-        unvisited = distances[dst] == UNREACHED
-        dst = dst[unvisited]
-        src = src[unvisited]
-        if dst.size == 0:
-            break
-        # Keep one (source, target) pair per newly discovered target.
-        order = np.argsort(dst, kind="stable")
-        dst_sorted = dst[order]
-        src_sorted = src[order]
-        first = np.ones(dst_sorted.size, dtype=bool)
-        first[1:] = dst_sorted[1:] != dst_sorted[:-1]
-        new_nodes = dst_sorted[first]
-        new_owner = owners[src_sorted[first]]
-        level += 1
-        distances[new_nodes] = level
-        owners[new_nodes] = new_owner
-        frontier = new_nodes
-    return BFSResult(distances=distances, sources=owners, num_levels=level)
+    distances, owners, num_levels = kernels.frontier_expansion(
+        graph.indptr, graph.indices, source_array, max_depth=max_depth
+    )
+    return BFSResult(distances=distances, sources=owners, num_levels=num_levels)
 
 
 def bfs_distances(graph: CSRGraph, source: int, *, max_depth: Optional[int] = None) -> np.ndarray:
@@ -120,9 +97,12 @@ def bfs_levels(graph: CSRGraph, source: int) -> Tuple[np.ndarray, int]:
 
 def eccentricity(graph: CSRGraph, source: int) -> int:
     """Eccentricity of ``source`` within its connected component."""
-    distances = bfs_distances(graph, source)
-    reached = distances[distances >= 0]
-    return int(reached.max()) if reached.size else 0
+    src = check_node_index(source, graph.num_nodes, "source")
+    return int(
+        kernels.eccentricities(
+            graph.indptr, graph.indices, np.asarray([src], dtype=np.int64)
+        )[0]
+    )
 
 
 def double_sweep(graph: CSRGraph, start: Optional[int] = None, *, rng=None) -> Tuple[int, int, int]:

@@ -61,7 +61,7 @@ def baswana_sen_spanner(graph: CSRGraph, k: int = 2, *, seed: SeedLike = None) -
     clustered = np.ones(n, dtype=bool)          # nodes still participating
     spanner_edges = []
 
-    edges = graph.edges()
+    edges = graph.edge_array()
     for _phase in range(k - 1):
         active_clusters = np.unique(cluster_of[clustered])
         sampled_mask = rng.random(active_clusters.size) < sample_probability

@@ -181,7 +181,13 @@ def build_weighted_quotient(
 
 @dataclass(frozen=True)
 class WeightedDiameterEstimate:
-    """Bounds on the weighted diameter obtained through the decomposition."""
+    """Bounds on the weighted diameter obtained through the decomposition.
+
+    ``num_quotient_edges`` and the :attr:`radius` alias make this estimate
+    interchangeable with the unweighted
+    :class:`~repro.core.diameter.DiameterEstimate` in the pipeline summaries
+    and MR accounting.
+    """
 
     lower_bound: float
     upper_bound: float
@@ -189,6 +195,12 @@ class WeightedDiameterEstimate:
     hop_radius: int
     num_clusters: int
     clustering: WeightedClustering
+    num_quotient_edges: int = 0
+
+    @property
+    def radius(self) -> float:
+        """Alias of :attr:`weighted_radius` (the pipeline-summary name)."""
+        return self.weighted_radius
 
     def contains(self, true_diameter: float) -> bool:
         return self.lower_bound <= true_diameter + 1e-9 and true_diameter <= self.upper_bound + 1e-9
@@ -228,4 +240,5 @@ def estimate_weighted_diameter(
         hop_radius=clustering.hop_radius,
         num_clusters=clustering.num_clusters,
         clustering=clustering,
+        num_quotient_edges=quotient.num_edges,
     )

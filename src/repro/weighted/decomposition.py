@@ -36,6 +36,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.cluster import tune_tau
 from repro.core.clustering import GrowthStepStats, IterationStats
 from repro.core.growth_engine import (
     UNCOVERED,
@@ -47,7 +48,13 @@ from repro.utils.rng import SeedLike, as_rng
 from repro.weighted.traversal import multi_source_dijkstra
 from repro.weighted.wgraph import WeightedCSRGraph
 
-__all__ = ["WeightedClustering", "weighted_cluster", "WeightedGrowth", "UNCOVERED"]
+__all__ = [
+    "WeightedClustering",
+    "weighted_cluster",
+    "weighted_cluster_with_target_clusters",
+    "WeightedGrowth",
+    "UNCOVERED",
+]
 
 
 @dataclass
@@ -101,6 +108,18 @@ class WeightedClustering:
     def hop_radius(self) -> int:
         """Maximum hop distance (the parallel-depth quantity)."""
         return int(self.hop_distance.max()) if self.hop_distance.size else 0
+
+    @property
+    def distance(self) -> np.ndarray:
+        """Alias of :attr:`hop_distance` matching the unweighted
+        :class:`~repro.core.clustering.Clustering` interface, so quotient
+        building and MR accounting consume weighted decompositions unchanged."""
+        return self.hop_distance
+
+    @property
+    def max_radius(self) -> int:
+        """Alias of :attr:`hop_radius` (the :class:`Clustering` name)."""
+        return self.hop_radius
 
     @property
     def weighted_radius(self) -> float:
@@ -194,3 +213,29 @@ def weighted_cluster(
     schedule = BatchHalvingSchedule(tau, as_rng(seed), max_iterations=max_iterations)
     engine = GrowthEngine(graph, tie_break=MinWeightTieBreak())
     return engine.run(schedule).to_weighted_clustering("weighted-cluster")
+
+
+def weighted_cluster_with_target_clusters(
+    graph: WeightedCSRGraph,
+    target_clusters: int,
+    *,
+    seed: SeedLike = None,
+    tolerance: float = 0.35,
+    max_trials: int = 12,
+) -> WeightedClustering:
+    """Run the weighted decomposition with τ tuned toward a cluster count.
+
+    The weighted CLUSTER shares Algorithm 1's batch-halving schedule, so the
+    ``#clusters = O(τ log² n)`` inversion and the multiplicative search of
+    :func:`repro.core.cluster.cluster_with_target_clusters` apply unchanged —
+    this is the §6 tuning protocol on the weighted stack, used by the
+    pipeline's ``method="weighted"`` with ``target_clusters``.
+    """
+    rng = as_rng(seed)
+    return tune_tau(
+        lambda tau: weighted_cluster(graph, tau, seed=rng),
+        graph.num_nodes,
+        target_clusters,
+        tolerance=tolerance,
+        max_trials=max_trials,
+    )

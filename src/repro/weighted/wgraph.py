@@ -1,12 +1,18 @@
-"""Weighted undirected graphs in CSR form.
+"""Weighted undirected graphs: a thin view over the unified CSR core.
 
 The paper's concluding section identifies the extension to weighted graphs as
 the main open direction and sketches "a preliminary decomposition strategy
 that, together with the number of clusters and their weighted radius, also
 controls their hop radius, which governs the parallel depth of the
-computation".  The :mod:`repro.weighted` subpackage implements that extension:
-a weighted CSR graph, weighted traversals, the hop-bounded weighted
-decomposition, and the weighted k-center / diameter applications built on it.
+computation".  The :mod:`repro.weighted` subpackage implements that extension
+on the shared substrate: :class:`WeightedCSRGraph` is a subclass of
+:class:`~repro.graph.csr.CSRGraph` that makes the optional ``weights`` array
+mandatory and adds weight-flavoured accessors — construction, validation
+(including the per-node sorted-``indices`` invariant behind the binary-search
+``has_edge`` / ``edge_weight`` lookups, with weights permuted alongside),
+min-weight duplicate folding, subgraphs, and IO are all inherited from the
+core, and every traversal runs on the shared kernels in
+:mod:`repro.graph.kernels`.
 """
 
 from __future__ import annotations
@@ -16,101 +22,58 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 from repro.utils.validation import check_node_index
 
-__all__ = ["WeightedCSRGraph"]
+__all__ = ["WeightedCSRGraph", "as_weighted"]
 
 
-@dataclass(frozen=True)
-class WeightedCSRGraph:
+# eq=False keeps the array-aware __eq__/__hash__ inherited from the core
+# (the generated tuple comparison would be ambiguous on NumPy arrays).
+@dataclass(frozen=True, eq=False)
+class WeightedCSRGraph(CSRGraph):
     """An immutable undirected graph with positive edge weights, in CSR form.
 
     Attributes
     ----------
     indptr / indices:
-        Same layout as :class:`~repro.graph.csr.CSRGraph`.
+        Same layout (and validation) as :class:`~repro.graph.csr.CSRGraph`.
     weights:
         ``float64`` array aligned with ``indices``; ``weights[p]`` is the
         weight of the arc stored at position ``p``.  Both copies of an
-        undirected edge carry the same weight.
+        undirected edge carry the same weight.  Mandatory for this subclass.
     """
 
-    indptr: np.ndarray
-    indices: np.ndarray
-    weights: np.ndarray
-
     def __post_init__(self) -> None:
-        indptr = np.ascontiguousarray(np.asarray(self.indptr, dtype=np.int64))
-        indices = np.ascontiguousarray(np.asarray(self.indices, dtype=np.int64))
-        weights = np.ascontiguousarray(np.asarray(self.weights, dtype=np.float64))
-        if indptr.size == 0 or indptr[0] != 0 or indptr[-1] != indices.size:
-            raise ValueError("indptr must start at 0 and end at len(indices)")
-        if np.any(np.diff(indptr) < 0):
-            raise ValueError("indptr must be non-decreasing")
-        if weights.shape != indices.shape:
-            raise ValueError("weights must be aligned with indices")
-        if weights.size and weights.min() <= 0:
-            raise ValueError("edge weights must be strictly positive")
-        n = indptr.size - 1
-        if indices.size and (indices.min() < 0 or indices.max() >= n):
-            raise ValueError("indices contain node ids outside [0, num_nodes)")
-        object.__setattr__(self, "indptr", indptr)
-        object.__setattr__(self, "indices", indices)
-        object.__setattr__(self, "weights", weights)
+        if self.weights is None:
+            raise ValueError("WeightedCSRGraph requires a weights array aligned with indices")
+        super().__post_init__()
+
+    @classmethod
+    def _weights_required(cls) -> bool:
+        return True
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_edges(
         cls,
         edges: "np.ndarray | Sequence[Tuple[int, int]]",
-        weights: "np.ndarray | Sequence[float]",
         num_nodes: Optional[int] = None,
+        *,
+        weights: "np.ndarray | Sequence[float] | None" = None,
     ) -> "WeightedCSRGraph":
         """Build from an ``(m, 2)`` edge array and a length-``m`` weight array.
 
         Self-loops are dropped; duplicate undirected edges keep the *minimum*
-        weight (the only sensible choice for shortest-path purposes).
+        weight (the only sensible choice for shortest-path purposes).  This is
+        the shared :meth:`CSRGraph.from_edges` folding — same signature as the
+        base class so polymorphic substrate code can call it positionally —
+        with ``weights`` mandatory.
         """
-        edge_array = np.asarray(
-            list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64
-        ).reshape(-1, 2)
-        weight_array = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
-                                  dtype=np.float64).reshape(-1)
-        if edge_array.shape[0] != weight_array.shape[0]:
-            raise ValueError("edges and weights must have the same length")
-        if weight_array.size and weight_array.min() <= 0:
-            raise ValueError("edge weights must be strictly positive")
-        if edge_array.size and edge_array.min() < 0:
-            raise ValueError("edge endpoints must be non-negative")
-        inferred = int(edge_array.max()) + 1 if edge_array.size else 0
-        n = inferred if num_nodes is None else int(num_nodes)
-        if n < inferred:
-            raise ValueError("num_nodes smaller than the largest endpoint + 1")
-
-        mask = edge_array[:, 0] != edge_array[:, 1]
-        edge_array, weight_array = edge_array[mask], weight_array[mask]
-        if edge_array.size == 0:
-            return cls(indptr=np.zeros(n + 1, dtype=np.int64),
-                       indices=np.zeros(0, dtype=np.int64),
-                       weights=np.zeros(0, dtype=np.float64))
-
-        # Canonicalize, keep the min weight per undirected edge, then mirror.
-        canonical = np.sort(edge_array, axis=1)
-        keys = canonical[:, 0] * np.int64(n) + canonical[:, 1]
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        min_weights = np.full(unique_keys.size, np.inf)
-        np.minimum.at(min_weights, inverse, weight_array)
-        unique_edges = np.stack([unique_keys // n, unique_keys % n], axis=1)
-
-        both = np.concatenate([unique_edges, unique_edges[:, ::-1]], axis=0)
-        both_weights = np.concatenate([min_weights, min_weights])
-        order = np.lexsort((both[:, 1], both[:, 0]))
-        both, both_weights = both[order], both_weights[order]
-        counts = np.bincount(both[:, 0], minlength=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        return cls(indptr=indptr, indices=both[:, 1].copy(), weights=both_weights.copy())
+        if weights is None:
+            raise ValueError("WeightedCSRGraph.from_edges requires a weights array")
+        return super().from_edges(edges, num_nodes=num_nodes, weights=weights)
 
     @classmethod
     def from_unit_graph(cls, graph: CSRGraph, weight: float = 1.0) -> "WeightedCSRGraph":
@@ -137,60 +100,49 @@ class WeightedCSRGraph:
             rng = np.random.default_rng()
         if not (0 < low <= high):
             raise ValueError("need 0 < low <= high")
-        edges = graph.edges()
+        edges = graph.edge_array()
         weights = rng.uniform(low, high, size=edges.shape[0])
-        return cls.from_edges(edges, weights, num_nodes=graph.num_nodes)
+        return cls.from_edges(edges, num_nodes=graph.num_nodes, weights=weights)
 
     # ------------------------------------------------------------------ #
-    @property
-    def num_nodes(self) -> int:
-        return int(self.indptr.size - 1)
-
-    @property
-    def num_edges(self) -> int:
-        return int(self.indices.size // 2)
-
-    @property
-    def num_directed_edges(self) -> int:
-        return int(self.indices.size)
-
-    def degree(self) -> np.ndarray:
-        """Degree (number of incident edges) of every node."""
-        return np.diff(self.indptr)
-
-    def neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+    # ``neighbors`` / ``neighbor_blocks`` are inherited *unchanged*: weighted
+    # graphs flow through every unweighted code path (clustering validation,
+    # the MR-native drivers, ...), so the base signatures must stay stable.
+    # The ``*_with_weights`` variants add the aligned weight column.
+    def neighbors_with_weights(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(neighbour_ids, edge_weights)`` of ``node``."""
         idx = check_node_index(node, self.num_nodes)
         lo, hi = self.indptr[idx], self.indptr[idx + 1]
         return self.indices[lo:hi], self.weights[lo:hi]
 
-    def neighbor_blocks(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def neighbor_blocks_with_weights(
+        self, nodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorized gather of ``(sources, targets, weights)`` for a batch of nodes."""
-        nodes = np.asarray(nodes, dtype=np.int64)
-        if nodes.size == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty, np.zeros(0, dtype=np.float64)
-        starts = self.indptr[nodes]
-        degrees = self.indptr[nodes + 1] - starts
-        total = int(degrees.sum())
-        if total == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty, np.zeros(0, dtype=np.float64)
-        cumulative = np.cumsum(degrees)
-        block_starts = np.repeat(cumulative - degrees, degrees)
-        offsets = np.arange(total, dtype=np.int64) - block_starts
-        positions = np.repeat(starts, degrees) + offsets
-        return np.repeat(nodes, degrees), self.indices[positions], self.weights[positions]
+        sources, targets, positions = kernels.gather_neighbors(
+            self.indptr, self.indices, nodes
+        )
+        return sources, targets, self.weights[positions]
 
-    def unweighted(self) -> CSRGraph:
-        """Drop the weights (the hop-metric skeleton of the graph)."""
-        return CSRGraph(indptr=self.indptr.copy(), indices=self.indices.copy())
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the undirected edge ``{u, v}`` (binary search on the
+        sorted neighbour slice; raises ``KeyError`` when the edge is absent)."""
+        ui = check_node_index(u, self.num_nodes, "u")
+        vi = check_node_index(v, self.num_nodes, "v")
+        row = self.indices[self.indptr[ui] : self.indptr[ui + 1]]
+        pos = np.searchsorted(row, vi)
+        if pos >= row.size or row[pos] != vi:
+            raise KeyError(f"no edge between {u} and {v}")
+        return float(self.weights[self.indptr[ui] + pos])
 
-    def edges(self) -> Tuple[np.ndarray, np.ndarray]:
-        """``(edge_array, weight_array)`` with each undirected edge listed once (u < v)."""
-        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
-        mask = src < self.indices
-        return np.stack([src[mask], self.indices[mask]], axis=1), self.weights[mask]
+    def edges(self) -> Tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        """``(edge_array, weight_array)`` with each undirected edge listed once (u < v).
+
+        Use :meth:`edge_array` for the shape-stable edge list shared with the
+        unweighted core.
+        """
+        edge_array, weight_array = self.edge_list()
+        return edge_array, weight_array
 
     def total_weight(self) -> float:
         """Sum of the weights of all (undirected) edges."""
@@ -201,3 +153,19 @@ class WeightedCSRGraph:
             f"WeightedCSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
             f"total_weight={self.total_weight():.1f})"
         )
+
+
+def as_weighted(graph: CSRGraph, *, unit_weight: float = 1.0) -> WeightedCSRGraph:
+    """Coerce any substrate graph to a :class:`WeightedCSRGraph` view.
+
+    A weighted graph is returned unchanged; a core graph that already carries
+    weights is re-wrapped sharing its arrays; a purely unweighted graph is
+    lifted with uniform ``unit_weight`` edges.
+    """
+    if isinstance(graph, WeightedCSRGraph):
+        return graph
+    if graph.weights is not None:
+        return WeightedCSRGraph(
+            indptr=graph.indptr, indices=graph.indices, weights=graph.weights
+        )
+    return WeightedCSRGraph.from_unit_graph(graph, weight=unit_weight)

@@ -83,6 +83,13 @@ class TestClusteringReport:
         singles = Clustering.singleton_clustering(mesh8.num_nodes)
         assert edge_cut(mesh8, singles) == mesh8.num_edges
 
+    def test_edge_cut_weighted_graph(self):
+        from repro.core.clustering import Clustering
+
+        g = mesh_graph(4, 4, weights="uniform", seed=2)
+        singles = Clustering.singleton_clustering(g.num_nodes)
+        assert edge_cut(g, singles) == g.num_edges
+
 
 class TestTables:
     def test_format_value(self):

@@ -53,7 +53,7 @@ class TestTieBreakSelection:
         # Node 2 is reachable from center 0 (weight 10) and center 3 (weight 1)
         # in the same round: it must join the lighter cluster.
         graph = WeightedCSRGraph.from_edges(
-            [(0, 2), (3, 2), (0, 1), (3, 4)], [10.0, 1.0, 1.0, 1.0]
+            [(0, 2), (3, 2), (0, 1), (3, 4)], weights=[10.0, 1.0, 1.0, 1.0]
         )
         engine = GrowthEngine(graph)
         engine.add_centers([0, 3])

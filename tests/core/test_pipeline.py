@@ -136,6 +136,62 @@ class TestExperimentConfigThreading:
         assert pipe.run().method == "mpx"
 
 
+class TestWeightedMethod:
+    def test_weighted_method_on_weighted_graph(self):
+        wgraph = mesh_graph(12, 12, weights="uniform", seed=4)
+        pipe = DecompositionPipeline(wgraph, PipelineConfig(method="weighted", tau=2, seed=9))
+        result = pipe.run()
+        assert result.method == "weighted"
+        clustering = result.clustering
+        assert clustering.weighted_distance is not None
+        clustering.validate(wgraph)
+        estimate = result.estimate
+        assert estimate.lower_bound <= estimate.upper_bound + 1e-9
+        assert estimate.weighted_radius == clustering.weighted_radius
+        assert estimate.num_quotient_edges >= 0
+        summary = result.summary()
+        assert summary["method"] == "weighted"
+        assert summary["radius"] == pytest.approx(clustering.weighted_radius)
+
+    def test_weighted_method_lifts_unweighted_input(self, mesh16):
+        pipe = DecompositionPipeline(mesh16, PipelineConfig(method="weighted", tau=2, seed=9))
+        assert pipe.graph.weights is not None
+        estimate = pipe.diameter()
+        # Unit weights: the weighted bounds must sandwich the hop diameter.
+        assert estimate.lower_bound <= 30.0 <= estimate.upper_bound
+
+    def test_weighted_method_with_target_clusters(self):
+        wgraph = mesh_graph(14, 14, weights="uniform", seed=5)
+        clustering = DecompositionPipeline(
+            wgraph, PipelineConfig(method="weighted", target_clusters=16, seed=3)
+        ).decompose()
+        assert clustering.algorithm == "weighted-cluster"
+        assert 4 <= clustering.num_clusters <= 64
+
+    def test_weighted_quotient_flavours(self):
+        wgraph = mesh_graph(10, 10, weights="uniform", seed=6)
+        pipe = DecompositionPipeline(wgraph, PipelineConfig(method="weighted", tau=2, seed=1))
+        weighted_q = pipe.quotient(weighted=True)
+        hop_q = pipe.quotient(weighted=False)
+        assert weighted_q.is_weighted
+        assert not hop_q.is_weighted
+        # Same clustering ⇒ same quotient topology, different edge metrics.
+        assert weighted_q.num_nodes == hop_q.num_nodes
+
+    def test_weighted_mr_report(self):
+        wgraph = mesh_graph(10, 10, weights="uniform", seed=7)
+        pipe = DecompositionPipeline(wgraph, PipelineConfig(method="weighted", tau=2, seed=2))
+        report = pipe.mr_report()
+        assert report.rounds > 0
+        assert report.estimate is pipe.diameter()
+
+    def test_weighted_method_via_experiment_config(self):
+        config = ExperimentConfig(decomposition_method="weighted")
+        wgraph = mesh_graph(10, 10, weights="uniform", seed=8)
+        result = config.pipeline(wgraph, tau=2, seed=5).run()
+        assert result.method == "weighted"
+
+
 class TestWeightedMRAccounting:
     def test_weighted_runs_are_charged(self):
         wgraph = WeightedCSRGraph.random_weights(

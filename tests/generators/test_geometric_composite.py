@@ -76,6 +76,15 @@ class TestComposite:
         g = with_tail(mesh8, 5, attach_to=0)
         assert exact_diameter(g) == exact_diameter(mesh8) + 5
 
+    def test_with_tail_weighted_base(self):
+        base = mesh_graph(4, 4, weights="uniform", seed=1)
+        g = with_tail(base, 3, attach_to=0)
+        assert g.num_nodes == base.num_nodes + 3
+        assert g.weights is not None
+        # Base edges keep their drawn weights; the new chain edges default to 1.
+        assert g.edge_weight(0, 1) == base.edge_weight(0, 1)
+        assert g.edge_weight(base.num_nodes, base.num_nodes + 1) == 1.0
+
     def test_tail_family_keys_and_growth(self):
         base = mesh_graph(5, 5)
         family = tail_family(base, base_diameter=8, multipliers=(0, 1, 2), seed=9)

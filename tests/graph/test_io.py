@@ -13,6 +13,7 @@ from repro.graph.io import (
     save_npz,
 )
 from repro.generators import mesh_graph
+from repro.weighted.wgraph import WeightedCSRGraph
 
 
 class TestParse:
@@ -37,6 +38,25 @@ class TestParse:
 
     def test_empty_text(self):
         assert parse_edge_list_text("# only comments\n").shape == (0, 2)
+
+    def test_with_weights_full_column(self):
+        edges, weights = parse_edge_list_text("0 1 2.5\n1 2 0.5\n", with_weights=True)
+        assert edges.tolist() == [[0, 1], [1, 2]]
+        assert weights.tolist() == [2.5, 0.5]
+
+    def test_with_weights_missing_or_bad_column(self):
+        # A line without a third column, or with a non-numeric one, makes the
+        # whole file unweighted rather than silently dropping rows.
+        for text in ("0 1 2.5\n1 2\n", "0 1 ts0\n1 2 ts1\n"):
+            edges, weights = parse_edge_list_text(text, with_weights=True)
+            assert weights is None
+
+    def test_with_weights_empty_text(self):
+        # No data lines is vacuously weighted: an empty array, not None, so
+        # an edgeless weighted file still round-trips as a weighted graph.
+        edges, weights = parse_edge_list_text("# empty\n", with_weights=True)
+        assert edges.shape == (0, 2)
+        assert weights is not None and weights.size == 0
 
 
 class TestRoundTrip:
@@ -74,3 +94,44 @@ class TestRoundTrip:
         save_npz(graph, path)
         loaded = load_npz(path)
         assert loaded == graph
+
+    def test_weighted_edge_list_roundtrip(self, tmp_path):
+        graph = mesh_graph(4, 4, weights="uniform", seed=1)
+        path = tmp_path / "weighted.txt"
+        save_edge_list(graph, path)
+        loaded, ids = load_edge_list(path)
+        assert isinstance(loaded, WeightedCSRGraph)
+        assert loaded == graph
+        assert ids.tolist() == list(range(graph.num_nodes))
+
+    def test_weighted_load_folds_min_weight(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 3.0\n1 0 1.5\n1 2 2.0\n")
+        graph, _ = load_edge_list(path, weighted=True)
+        assert isinstance(graph, WeightedCSRGraph)
+        assert graph.num_edges == 2
+        assert graph.edge_weight(0, 1) == 1.5
+        assert graph.edge_weight(1, 2) == 2.0
+
+    def test_edgeless_weighted_roundtrip_stays_weighted(self, tmp_path):
+        g = WeightedCSRGraph.from_edges([], num_nodes=1, weights=[])
+        path = tmp_path / "edgeless.txt"
+        save_edge_list(g, path)
+        loaded, _ = load_edge_list(path)
+        assert isinstance(loaded, WeightedCSRGraph)
+        assert loaded.weights is not None and loaded.weights.size == 0
+
+    def test_extra_columns_stay_unweighted_by_default(self, tmp_path):
+        # SNAP-style temporal edge lists (third column = timestamp) must not
+        # silently load as weighted graphs.
+        path = tmp_path / "temporal.txt"
+        path.write_text("0 1 1217567877\n1 2 1217567878\n")
+        graph, _ = load_edge_list(path)
+        assert not isinstance(graph, WeightedCSRGraph)
+        assert graph.weights is None
+
+    def test_weighted_load_requires_full_column(self, tmp_path):
+        path = tmp_path / "partial.txt"
+        path.write_text("0 1 2.0\n1 2\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path, weighted=True)

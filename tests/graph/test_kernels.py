@@ -1,0 +1,180 @@
+"""Unit tests for the shared frontier kernels (``repro.graph.kernels``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import mesh_graph, path_graph
+from repro.graph import kernels
+from repro.graph.builders import disjoint_union
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+from repro.graph.diameter_exact import diameter_all_pairs
+from repro.graph.traversal import bfs_distances, multi_source_bfs
+
+
+@pytest.fixture
+def mesh():
+    return mesh_graph(9, 9)
+
+
+class TestGatherNeighbors:
+    def test_positions_align_with_indices(self, mesh):
+        nodes = np.asarray([0, 17, 44], dtype=np.int64)
+        src, dst, pos = kernels.gather_neighbors(mesh.indptr, mesh.indices, nodes)
+        assert np.array_equal(mesh.indices[pos], dst)
+        assert src.size == dst.size == pos.size
+
+    def test_empty_batch(self, mesh):
+        src, dst, pos = kernels.gather_neighbors(
+            mesh.indptr, mesh.indices, np.zeros(0, dtype=np.int64)
+        )
+        assert src.size == dst.size == pos.size == 0
+
+    def test_isolated_nodes(self):
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=4)
+        src, dst, pos = kernels.gather_neighbors(
+            g.indptr, g.indices, np.asarray([2, 3], dtype=np.int64)
+        )
+        assert src.size == 0
+
+
+class TestClaims:
+    def test_claim_first_keeps_scan_order(self):
+        dst = np.asarray([5, 3, 5, 3, 7], dtype=np.int64)
+        src = np.asarray([0, 1, 2, 3, 4], dtype=np.int64)
+        targets, parents = kernels.claim_first(dst, src)
+        assert targets.tolist() == [3, 5, 7]
+        assert parents.tolist() == [1, 0, 4]
+
+    def test_claim_min_keeps_smallest_key(self):
+        dst = np.asarray([5, 3, 5, 3], dtype=np.int64)
+        src = np.asarray([0, 1, 2, 3], dtype=np.int64)
+        key = np.asarray([2.0, 9.0, 1.0, 4.0])
+        targets, parents, keys = kernels.claim_min(dst, src, key)
+        assert targets.tolist() == [3, 5]
+        assert parents.tolist() == [3, 2]
+        assert keys.tolist() == [4.0, 1.0]
+
+    def test_claim_min_tie_falls_back_to_scan_order(self):
+        dst = np.asarray([4, 4], dtype=np.int64)
+        src = np.asarray([8, 9], dtype=np.int64)
+        key = np.asarray([1.5, 1.5])
+        _, parents, _ = kernels.claim_min(dst, src, key)
+        assert parents.tolist() == [8]
+
+
+class TestFrontierExpansion:
+    def test_matches_traversal_wrapper(self, mesh):
+        sources = np.asarray([0, 40], dtype=np.int64)
+        dist, owners, levels = kernels.frontier_expansion(mesh.indptr, mesh.indices, sources)
+        result = multi_source_bfs(mesh, sources.tolist())
+        assert np.array_equal(dist, result.distances)
+        assert np.array_equal(owners, result.sources)
+        assert levels == result.num_levels
+
+    def test_on_level_counts_every_round(self, mesh):
+        calls = []
+        kernels.frontier_expansion(
+            mesh.indptr,
+            mesh.indices,
+            np.asarray([0], dtype=np.int64),
+            on_level=lambda frontier: calls.append(int(frontier.size)),
+        )
+        # One call per expansion attempt; total frontier sizes cover the graph.
+        assert sum(calls) == mesh.num_nodes
+        assert calls[0] == 1
+
+    def test_max_depth(self, mesh):
+        dist, _, levels = kernels.frontier_expansion(
+            mesh.indptr, mesh.indices, np.asarray([0], dtype=np.int64), max_depth=2
+        )
+        assert levels == 2
+        assert int(dist.max()) == 2
+
+    def test_no_sources(self, mesh):
+        dist, owners, levels = kernels.frontier_expansion(
+            mesh.indptr, mesh.indices, np.zeros(0, dtype=np.int64)
+        )
+        assert levels == 0
+        assert np.all(dist == -1)
+        assert np.all(owners == -1)
+
+
+class TestComponentAndEccentricity:
+    def test_component_labels_match_components_api(self):
+        g = disjoint_union([mesh_graph(4, 4), path_graph(5), mesh_graph(2, 3)])
+        labels = kernels.component_labels(g.indptr, g.indices)
+        assert np.array_equal(labels, connected_components(g))
+        assert labels.max() == 2
+
+    def test_eccentricities_match_bfs(self, mesh):
+        nodes = np.asarray([0, 12, 80], dtype=np.int64)
+        eccs = kernels.eccentricities(mesh.indptr, mesh.indices, nodes)
+        for node, ecc in zip(nodes, eccs):
+            assert ecc == int(bfs_distances(mesh, int(node)).max())
+
+    def test_diameter_all_pairs_uses_kernel(self, mesh):
+        assert diameter_all_pairs(mesh) == 16
+
+
+class TestDeltaStepping:
+    def test_unit_weights_reduce_to_bfs(self, mesh):
+        weights = np.ones(mesh.indices.size)
+        dist, owner = kernels.delta_stepping(
+            mesh.indptr, mesh.indices, weights, np.asarray([0], dtype=np.int64)
+        )
+        bfs = bfs_distances(mesh, 0).astype(np.float64)
+        assert np.array_equal(dist, bfs)
+        assert np.all(owner == 0)
+
+    def test_delta_parameter_does_not_change_result(self, mesh):
+        from repro.generators import attach_weights
+
+        wg = attach_weights(mesh, "uniform", seed=3)
+        sources = np.asarray([0, 33], dtype=np.int64)
+        base, _ = kernels.delta_stepping(wg.indptr, wg.indices, wg.weights, sources)
+        for delta in (0.1, 1.0, 50.0):
+            dist, _ = kernels.delta_stepping(
+                wg.indptr, wg.indices, wg.weights, sources, delta=delta
+            )
+            assert np.array_equal(base, dist)
+
+
+class TestNeighborReduce:
+    def test_or_reduce_matches_manual(self, mesh):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**16, size=(mesh.num_nodes, 2)).astype(np.uint64)
+        has, reduced = kernels.neighbor_reduce(
+            mesh.indptr, mesh.indices, values, np.bitwise_or
+        )
+        assert np.all(has)
+        row = 0
+        expected = np.bitwise_or.reduce(values[mesh.neighbors(0)], axis=0)
+        assert np.array_equal(reduced[row], expected)
+
+    def test_zero_degree_nodes_excluded(self):
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        values = np.asarray([[1], [2], [4]], dtype=np.uint64)
+        has, reduced = kernels.neighbor_reduce(g.indptr, g.indices, values, np.bitwise_or)
+        assert has.tolist() == [True, True, False]
+        assert reduced[:, 0].tolist() == [2, 1]
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(3)
+        values = np.zeros((3, 4), dtype=np.uint64)
+        has, reduced = kernels.neighbor_reduce(g.indptr, g.indices, values, np.bitwise_or)
+        assert not np.any(has)
+        assert reduced.shape[0] == 0
+
+    def test_precomputed_segments_match(self, mesh):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 2**16, size=(mesh.num_nodes, 2)).astype(np.uint64)
+        segments = kernels.reduce_segments(mesh.indptr)
+        has_a, red_a = kernels.neighbor_reduce(mesh.indptr, mesh.indices, values, np.bitwise_or)
+        has_b, red_b = kernels.neighbor_reduce(
+            mesh.indptr, mesh.indices, values, np.bitwise_or, segments=segments
+        )
+        assert np.array_equal(has_a, has_b)
+        assert np.array_equal(red_a, red_b)

@@ -55,7 +55,7 @@ class TestWeightedGrowth:
     def test_lightest_claim_wins(self):
         # Node 2 is reachable from center 0 (weight 10) and center 3 (weight 1)
         # in the same round: it must join the lighter cluster.
-        graph = WeightedCSRGraph.from_edges([(0, 2), (3, 2), (0, 1), (3, 4)], [10.0, 1.0, 1.0, 1.0])
+        graph = WeightedCSRGraph.from_edges([(0, 2), (3, 2), (0, 1), (3, 4)], weights=[10.0, 1.0, 1.0, 1.0])
         growth = WeightedGrowth(graph)
         growth.add_centers([0, 3])
         growth.grow_round()
@@ -173,4 +173,4 @@ class TestWeightedDiameter:
 
     def test_empty_graph_rejected(self):
         with pytest.raises(ValueError):
-            estimate_weighted_diameter(WeightedCSRGraph.from_edges([], [], num_nodes=0))
+            estimate_weighted_diameter(WeightedCSRGraph.from_edges([], num_nodes=0, weights=[]))

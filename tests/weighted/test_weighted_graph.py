@@ -19,7 +19,7 @@ from repro.weighted.wgraph import WeightedCSRGraph
 def weighted_path():
     """Path 0-1-2-3-4 with weights 1, 2, 3, 4."""
     edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
-    return WeightedCSRGraph.from_edges(edges, [1.0, 2.0, 3.0, 4.0])
+    return WeightedCSRGraph.from_edges(edges, weights=[1.0, 2.0, 3.0, 4.0])
 
 
 @pytest.fixture
@@ -36,26 +36,26 @@ class TestConstruction:
         assert weighted_path.total_weight() == pytest.approx(10.0)
 
     def test_symmetric_weights(self, weighted_path):
-        nbrs, weights = weighted_path.neighbors(1)
+        nbrs, weights = weighted_path.neighbors_with_weights(1)
         lookup = dict(zip(nbrs.tolist(), weights.tolist()))
         assert lookup == {0: 1.0, 2: 2.0}
 
     def test_duplicate_edges_keep_min_weight(self):
-        g = WeightedCSRGraph.from_edges([(0, 1), (1, 0)], [5.0, 2.0])
-        _, weights = g.neighbors(0)
+        g = WeightedCSRGraph.from_edges([(0, 1), (1, 0)], weights=[5.0, 2.0])
+        _, weights = g.neighbors_with_weights(0)
         assert weights.tolist() == [2.0]
 
     def test_self_loops_removed(self):
-        g = WeightedCSRGraph.from_edges([(0, 0), (0, 1)], [1.0, 3.0])
+        g = WeightedCSRGraph.from_edges([(0, 0), (0, 1)], weights=[1.0, 3.0])
         assert g.num_edges == 1
 
     def test_invalid_weights_rejected(self):
         with pytest.raises(ValueError):
-            WeightedCSRGraph.from_edges([(0, 1)], [0.0])
+            WeightedCSRGraph.from_edges([(0, 1)], weights=[0.0])
         with pytest.raises(ValueError):
-            WeightedCSRGraph.from_edges([(0, 1)], [-1.0])
+            WeightedCSRGraph.from_edges([(0, 1)], weights=[-1.0])
         with pytest.raises(ValueError):
-            WeightedCSRGraph.from_edges([(0, 1)], [1.0, 2.0])
+            WeightedCSRGraph.from_edges([(0, 1)], weights=[1.0, 2.0])
 
     def test_from_unit_graph(self, mesh8):
         g = WeightedCSRGraph.from_unit_graph(mesh8, weight=2.0)
@@ -75,10 +75,17 @@ class TestConstruction:
         skeleton = weighted_mesh.unweighted()
         assert skeleton.num_edges == weighted_mesh.num_edges
 
-    def test_neighbor_blocks(self, weighted_path):
-        src, dst, w = weighted_path.neighbor_blocks(np.asarray([1, 3]))
+    def test_neighbor_blocks_with_weights(self, weighted_path):
+        src, dst, w = weighted_path.neighbor_blocks_with_weights(np.asarray([1, 3]))
         assert src.size == dst.size == w.size == 4
         assert set(dst.tolist()) == {0, 2, 2, 4} | {0, 2, 4}
+
+    def test_base_accessors_keep_their_arity(self, weighted_path):
+        # Weighted graphs flow through unweighted code paths (clustering
+        # validation, MR-native drivers), so the inherited signatures hold.
+        assert weighted_path.neighbors(1).tolist() == [0, 2]
+        src, dst = weighted_path.neighbor_blocks(np.asarray([1]))
+        assert src.size == dst.size == 2
 
     def test_repr(self, weighted_path):
         assert "num_nodes=5" in repr(weighted_path)
@@ -123,7 +130,7 @@ class TestDijkstra:
             assert dijkstra(weighted_mesh, owner)[v] == pytest.approx(combined.distances[v])
 
     def test_unreachable_infinite(self):
-        g = WeightedCSRGraph.from_edges([(0, 1)], [1.0], num_nodes=3)
+        g = WeightedCSRGraph.from_edges([(0, 1)], num_nodes=3, weights=[1.0])
         dist = dijkstra(g, 0)
         assert np.isinf(dist[2])
 
@@ -157,5 +164,5 @@ class TestEccentricityAndSweep:
         assert lower <= true_diameter + 1e-9
 
     def test_empty_graph(self):
-        g = WeightedCSRGraph.from_edges([], [], num_nodes=0)
+        g = WeightedCSRGraph.from_edges([], num_nodes=0, weights=[])
         assert weighted_double_sweep(g) == (0.0, -1, -1)
