@@ -92,7 +92,7 @@ def test_bench_engine_round_vectorized(benchmark, arc_workload):
     assert len(output) > 0
 
 
-def test_vectorized_beats_serial_shuffle(arc_workload):
+def test_vectorized_beats_serial_shuffle(arc_workload, mr_bench_recorder):
     """Acceptance check: argsort shuffle beats the dict shuffle on >= 100k pairs.
 
     Both backends consume the same unflattened workload; the serial backend
@@ -119,6 +119,14 @@ def test_vectorized_beats_serial_shuffle(arc_workload):
         vectorized_timings.append(elapsed)
     serial_time = min(serial_timings)
     vectorized_time = min(vectorized_timings)
+    for backend, seconds in (("serial", serial_time), ("vectorized", vectorized_time)):
+        mr_bench_recorder(
+            benchmark="shuffle_count_reducer",
+            workload=f"arc-degree-count/{len(arc_workload)}-pairs",
+            pairs=len(arc_workload),
+            backend=backend,
+            seconds=seconds,
+        )
 
     # Bit-identical results ...
     assert vectorized_outcome.output == serial_outcome.output

@@ -14,6 +14,7 @@ as end-to-end regression checks.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -23,6 +24,46 @@ import pytest
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# ------------------------------------------------------------------ #
+# Machine-readable MR-performance trajectory (BENCH_mr.json)
+# ------------------------------------------------------------------ #
+# The MR benchmarks (bench_backends.py, bench_structured.py) record one row
+# per measured (workload, backend) pair; at session end the rows are written
+# to BENCH_mr.json (override the path with REPRO_BENCH_MR_JSON) so the perf
+# trajectory stays comparable across PRs.  CI uploads the file as an
+# artifact next to the pytest-benchmark timings.
+_MR_BENCH_RESULTS: list = []
+
+
+@pytest.fixture(scope="session")
+def mr_bench_recorder():
+    """Record one MR benchmark measurement for BENCH_mr.json."""
+
+    def record(*, benchmark: str, workload: str, pairs: int, backend: str, seconds: float) -> None:
+        _MR_BENCH_RESULTS.append(
+            {
+                "benchmark": benchmark,
+                "workload": workload,
+                "pairs": int(pairs),
+                "backend": backend,
+                "seconds": float(seconds),
+                "ns_per_pair": float(seconds) / max(1, int(pairs)) * 1e9,
+            }
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _MR_BENCH_RESULTS:
+        return
+    path = Path(os.environ.get("REPRO_BENCH_MR_JSON", "BENCH_mr.json"))
+    payload = {
+        "quick_mode": os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0"),
+        "results": _MR_BENCH_RESULTS,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def bench_scale() -> str:

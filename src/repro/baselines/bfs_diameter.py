@@ -11,18 +11,30 @@ In a round-synchronous distributed setting each BFS level is one round and the
 aggregate communication is ``O(m)`` (every edge is traversed once per BFS), so
 BFS needs ``Θ(∆)`` rounds — the quantity that makes it slow on long-diameter
 graphs and that our MR accounting captures.
+
+:func:`mr_bfs_diameter` *executes* every level as a structured MR round: the
+map phase gathers one ``(target, source)`` claim per arc leaving the frontier
+(plus the frontier's own bookkeeping pairs) directly into an
+:class:`~repro.mapreduce.backends.ArrayPairs` batch, and the ``first``
+segment reducer keeps one claimant per contested node — the same
+arbitrary-but-deterministic tie-break as
+:func:`repro.graph.kernels.claim_first`.  With ``backend="serial"`` the round
+runs through the flattened per-pair tuple path (the bit-compatibility
+reference); ``backend="vectorized"`` evaluates it with zero per-key Python
+calls.  Estimates and metrics are backend-independent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import multi_source_bfs
+from repro.mapreduce.backends import ArrayPairs
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.metrics import MRMetrics
@@ -87,6 +99,35 @@ def bfs_diameter(
     )
 
 
+def _structured_bfs(engine: MREngine, graph: CSRGraph, source: int) -> Tuple[np.ndarray, int]:
+    """One BFS, every level executed as a structured MR round.
+
+    Each round ships one claim ``(target, source)`` per arc leaving the
+    frontier plus one bookkeeping pair per frontier node — the communication
+    volume of a round-synchronous distributed BFS, including the final
+    fruitless expansion attempt.  The ``first`` reducer keeps the first
+    claimant per node (claims arrive in adjacency-gather order, matching
+    :func:`repro.graph.kernels.claim_first`); nodes already visited discard
+    their round output driver-side, exactly like the kernel's unvisited
+    filter.  Returns ``(distances, num_productive_levels)``.
+    """
+    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        src, dst, _ = kernels.gather_neighbors(graph.indptr, graph.indices, frontier)
+        batch = ArrayPairs(np.concatenate((frontier, dst)), np.concatenate((frontier, src)))
+        claimed = engine.run_structured_round(batch, "first", label="bfs-level")
+        fresh = claimed.keys[distances[claimed.keys] < 0]
+        if fresh.size == 0:
+            break
+        level += 1
+        distances[fresh] = level
+        frontier = np.sort(fresh)
+    return distances, level
+
+
 def mr_bfs_diameter(
     graph: CSRGraph,
     *,
@@ -94,15 +135,18 @@ def mr_bfs_diameter(
     start: Optional[int] = None,
     model: Optional[MRModel] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
-    backend: BackendSpec = "serial",
+    backend: BackendSpec = "vectorized",
     num_shards: Optional[int] = None,
 ) -> BFSDiameterResult:
-    """Double-sweep BFS with MR round / communication accounting.
+    """Double-sweep BFS with every level executed as a structured MR round.
 
-    Each BFS level is charged as one round whose communication volume is the
-    number of adjacency entries scanned at that level (so the aggregate over a
-    full BFS is ``2m`` arc messages plus the frontier bookkeeping).
-    ``backend`` / ``num_shards`` select the engine's execution backend.
+    Each BFS level is one round whose communication volume is the number of
+    adjacency entries scanned at that level plus the frontier bookkeeping (so
+    the aggregate over a full BFS is ``2m`` arc messages plus ``O(n)``).
+    ``backend`` / ``num_shards`` select the engine's execution backend:
+    the ``vectorized`` default runs the segment fast path, ``serial`` the
+    per-pair tuple path (the bit-compatibility reference); estimates and
+    metrics are identical on every backend.
     """
     n = graph.num_nodes
     if n == 0:
@@ -116,23 +160,8 @@ def mr_bfs_diameter(
         num_shards=num_shards,
     )
 
-    degrees = graph.degree()
-
-    def charge_level(frontier: np.ndarray) -> None:
-        # One BFS level = one MR round shuffling the scanned arcs plus the
-        # frontier bookkeeping; the kernel invokes this for every expansion
-        # attempt, including the final fruitless one, matching the metered
-        # semantics of a round-synchronous distributed BFS.
-        arcs = int(degrees[frontier].sum())
-        engine.charge_rounds(1, pairs_per_round=arcs + int(frontier.size), label="bfs-level")
-
     def run_one_bfs(source: int) -> tuple:
-        distances, _, levels = kernels.frontier_expansion(
-            graph.indptr,
-            graph.indices,
-            np.asarray([source], dtype=np.int64),
-            on_level=charge_level,
-        )
+        distances, levels = _structured_bfs(engine, graph, source)
         return distances, levels
 
     first_dist, first_levels = run_one_bfs(int(start))

@@ -14,6 +14,17 @@ The diameter estimate is the first iteration ``t`` at which the estimated
 neighborhood function stops increasing (within a small tolerance), i.e. the
 (estimated) effective diameter at 100%; like the original HADI it tends to
 slightly *underestimate* the true diameter.
+
+Every sketch-propagation iteration is *executed* as one structured MR round:
+the map phase ships each node's sketch to itself plus one sketch along every
+arc (a single CSR gather into an
+:class:`~repro.mapreduce.backends.ArrayPairs` batch of ``uint64`` register
+rows), and the registered ``bitwise_or`` segment reducer merges each node's
+incoming sketches with ``np.bitwise_or.reduceat`` — the HADI round, with
+zero per-key Python calls on the vectorized backend.  ``backend="serial"``
+runs the same round through the flattened per-pair tuple path (the
+bit-compatibility reference); estimates and metrics are identical either
+way.
 """
 
 from __future__ import annotations
@@ -23,8 +34,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.graph import kernels
 from repro.graph.csr import CSRGraph
+from repro.mapreduce.backends import ArrayPairs
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.metrics import MRMetrics
@@ -107,7 +118,7 @@ def hadi_diameter(
     seed: SeedLike = None,
     model: Optional[MRModel] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
-    backend: BackendSpec = "serial",
+    backend: BackendSpec = "vectorized",
     num_shards: Optional[int] = None,
 ) -> HADIResult:
     """Estimate the diameter of ``graph`` with HADI/ANF.
@@ -123,8 +134,9 @@ def hadi_diameter(
         Relative increase of the neighborhood function below which the
         process is considered saturated.
     backend / num_shards:
-        Execution backend of the metering engine (metrics are
-        backend-independent).
+        Execution backend of the engine running the sketch-OR rounds; the
+        ``vectorized`` default is the segment fast path, ``serial`` the
+        per-pair tuple path.  Estimates and metrics are backend-independent.
     """
     n = graph.num_nodes
     if n == 0:
@@ -140,24 +152,23 @@ def hadi_diameter(
     sketches = make_fm_sketches(n, num_registers=num_registers, rng=rng)
     neighborhood = [float(n)]  # N(0) = n (every node reaches itself)
     estimate = 0
-    segments = kernels.reduce_segments(graph.indptr)
+    # The round's key layout is graph structure only — hoisted out of the loop:
+    # every node keys its own sketch, then one key per arc (the row owner
+    # receives the sketch of each of its neighbours).
+    nodes = np.arange(n, dtype=np.int64)
+    arc_owners = np.repeat(nodes, np.diff(graph.indptr))
+    round_keys = np.concatenate((nodes, arc_owners))
 
     for t in range(1, limit + 1):
-        # One HADI iteration = one MR round shuffling a sketch along every arc:
-        # the shared neighbor_reduce kernel ORs each node's sketch with its
-        # neighbours' (zero-degree nodes keep theirs untouched).
-        engine.charge_rounds(
-            1,
-            pairs_per_round=graph.num_directed_edges + n,
-            label="hadi-iteration",
-        )
-        has_neighbors, neighbor_or = kernels.neighbor_reduce(
-            graph.indptr, graph.indices, sketches, np.bitwise_or, segments=segments
-        )
-        if neighbor_or.size:
-            updated = sketches.copy()
-            updated[has_neighbors] |= neighbor_or
-            sketches = updated
+        # One HADI iteration = one structured MR round shuffling a sketch
+        # along every arc (plus each node's own): the bitwise_or segment
+        # reducer ORs every node's incoming rows, so zero-degree nodes simply
+        # keep their own sketch.
+        batch = ArrayPairs(round_keys, np.concatenate((sketches, sketches[graph.indices])))
+        merged = engine.run_structured_round(batch, "bitwise_or", label="hadi-iteration")
+        updated = np.empty_like(sketches)
+        updated[merged.keys] = merged.values
+        sketches = updated
         total_pairs = float(fm_estimate(sketches).sum())
         neighborhood.append(total_pairs)
         previous = neighborhood[-2]

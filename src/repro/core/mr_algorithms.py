@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Union
 
+import numpy as np
+
 from repro.core.clustering import Clustering
 from repro.core.diameter import DiameterEstimate
 from repro.graph.csr import CSRGraph
@@ -93,26 +95,35 @@ def charge_clustering_rounds(
     min-weight tie-break replaces the arbitrary claim sort with a sort keyed
     by accumulated distance, which Lemma 3's sort/prefix-sum argument covers
     unchanged.
+
+    The replay itself is array-native: the whole trace is charged through
+    :meth:`~repro.mapreduce.engine.MREngine.charge_rounds_batch` (whole-array
+    sum/max counter updates) instead of one Python-level ``charge_rounds``
+    call per growing step, so replaying a long weighted trace costs two array
+    reductions, not thousands of metric-record calls.  The resulting
+    :class:`~repro.mapreduce.metrics.MRMetrics` are identical to the
+    per-round loop by construction.
     """
     ml = engine.model.local_memory
     primitive_rounds = rounds_for_primitive(
         max(1, 2 * clustering.num_nodes), ml
     )
-    # Outer iterations: center selection + coverage counting (a prefix sum).
-    for iteration in clustering.iterations:
-        engine.charge_rounds(
-            primitive_rounds,
-            pairs_per_round=iteration.uncovered_before,
-            label="center-selection",
-        )
+    # Outer iterations: center selection + coverage counting (a prefix sum),
+    # `primitive_rounds` charged rounds per iteration.
+    uncovered = np.fromiter(
+        (iteration.uncovered_before for iteration in clustering.iterations),
+        dtype=np.int64,
+        count=len(clustering.iterations),
+    )
+    engine.charge_rounds_batch(np.repeat(uncovered, primitive_rounds), label="center-selection")
     # Growing steps: one (constant number of) round(s) each; communication is
     # the adjacency volume actually scanned by the step.
-    for step in clustering.step_log:
-        engine.charge_rounds(
-            1,
-            pairs_per_round=step.arcs_scanned + step.frontier_size,
-            label="growing-step",
-        )
+    scanned = np.fromiter(
+        (step.arcs_scanned + step.frontier_size for step in clustering.step_log),
+        dtype=np.int64,
+        count=len(clustering.step_log),
+    )
+    engine.charge_rounds_batch(scanned, label="growing-step")
 
 
 def charge_quotient_rounds(

@@ -6,15 +6,31 @@ further and actually *executes* Algorithm 1 as map-shuffle-reduce rounds on
 the :class:`~repro.mapreduce.engine.MREngine`, the way the paper's Section 5
 describes the distributed implementation:
 
-* the graph lives as ``(node, adjacency_list)`` pairs;
-* the cluster state lives as ``(node, (cluster_id, distance))`` pairs;
-* one growing step is one round: the mapper sends a *claim*
-  ``(neighbour, (cluster_id, distance + 1))`` along every arc leaving the
-  current frontier, and the reducer of an uncovered node accepts one claim
-  (the smallest, an arbitrary-but-deterministic tie-break) while covered
-  nodes ignore claims;
+* the graph lives in CSR arrays; the cluster state lives as
+  ``(node, (STATE, cluster_id, distance))`` pairs;
+* one growing step is one *structured round*
+  (:meth:`~repro.mapreduce.engine.MREngine.run_structured_round`): the map
+  phase is an :class:`~repro.mapreduce.structured.ArrayMapper` that expands a
+  *claim* ``(neighbour, (CLAIM, cluster_id, distance + 1))`` along every arc
+  leaving the current frontier with one ``np.repeat``/gather over the CSR
+  arrays (the :func:`repro.graph.kernels.gather_neighbors` primitive), and
+  the reduce phase is the registered ``cluster-claim`` segment reducer: an
+  uncovered node accepts the smallest claim by ``(distance, cluster_id)``
+  (an arbitrary-but-deterministic tie-break) while covered nodes ignore
+  claims — all evaluated as C-level segment reductions, without ever
+  materializing a tuple per arc;
 * center selection and the coverage count are driver-side bookkeeping charged
   as one round per iteration (a prefix-sum in the model).
+
+How the round is physically executed is the backend's choice:
+``backend="serial"`` runs the exact same round through the flattened
+per-pair *tuple path* (the bit-compatibility reference — and the slow side
+of the structured-vs-tuple benchmark gate in
+``benchmarks/bench_structured.py``), ``backend="vectorized"`` runs the
+zero-Python-call segment reductions, ``backend="process"`` shards the claim
+arrays across a persistent worker pool.  Clustering output and
+:class:`~repro.mapreduce.metrics.MRMetrics` are bit-identical across all of
+them, enforced by the cross-backend suite.
 
 Because the *set* of nodes covered by a growing step does not depend on which
 claimant wins a tie, the native execution covers exactly the same node set per
@@ -22,30 +38,149 @@ step as the in-memory implementation for the same seed, yielding the same
 centers, cluster count and step count; only the ownership tie-breaks differ
 (the native reducer accepts the lightest claim, so per-node growth distances
 can only shrink).  The test-suite cross-checks the two planes.
-
-This implementation favours clarity over speed (it shuffles Python tuples one
-by one) and is intended for moderate graph sizes; the library API and the
-experiment harness use the vectorized implementation.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.cluster import selection_probability, uncovered_threshold
 from repro.core.clustering import Clustering, IterationStats
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
+from repro.mapreduce.backends import ArrayPairs
 from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.model import MRModel
+from repro.mapreduce.structured import (
+    ArrayMapper,
+    StructuredReducer,
+    register_structured_reducer,
+)
 from repro.utils.rng import SeedLike, as_rng, random_subset_mask
 
-__all__ = ["mr_cluster_native"]
+__all__ = ["mr_cluster_native", "ClusterClaimReducer", "GrowingRoundMapper"]
 
-_STATE = "state"
-_CLAIM = "claim"
+# Value rows are ``(tag, cluster_id, distance)`` int64 triples.
+_STATE = 0
+_CLAIM = 1
+
+
+class GrowingRoundMapper(ArrayMapper):
+    """Map phase of one growing step, emitted directly as :class:`ArrayPairs`.
+
+    The input batch holds one ``(node, (STATE, cluster_id, distance))`` row
+    per frontier node.  The mapper appends (i) one state row per node that
+    could receive a claim — the reducer needs those to know whether a target
+    is already covered — and (ii) one claim row
+    ``(neighbour, (CLAIM, cluster_id, distance + 1))`` per arc leaving a
+    covered frontier node: a single gather + ``np.repeat`` over the CSR
+    arrays, never a per-arc Python tuple.
+    """
+
+    def __init__(self, graph: CSRGraph, assignment: np.ndarray, distance: np.ndarray) -> None:
+        self.graph = graph
+        self.assignment = assignment
+        self.distance = distance
+
+    def map_batch(self, batch: ArrayPairs) -> ArrayPairs:
+        frontier = batch.keys
+        src, dst, _ = kernels.gather_neighbors(self.graph.indptr, self.graph.indices, frontier)
+        targets = np.unique(dst)
+        target_states = np.column_stack(
+            (
+                np.full(targets.size, _STATE, dtype=np.int64),
+                self.assignment[targets],
+                self.distance[targets],
+            )
+        )
+        # Claims flow only out of covered sources (always true for frontier
+        # nodes in the driver loop, kept for exact reducer-input parity).
+        covered = self.assignment[src] >= 0
+        claim_src = src[covered]
+        claims = np.column_stack(
+            (
+                np.full(claim_src.size, _CLAIM, dtype=np.int64),
+                self.assignment[claim_src],
+                self.distance[claim_src] + 1,
+            )
+        )
+        keys = np.concatenate((batch.keys, targets, dst[covered]))
+        values = np.concatenate((batch.values, target_states, claims))
+        return ArrayPairs(keys, values)
+
+
+class ClusterClaimReducer(StructuredReducer):
+    """Per-node claim resolution of Algorithm 1 as a segment reduction.
+
+    Each group mixes state rows ``(STATE, cluster_id, distance)`` with claim
+    rows ``(CLAIM, cluster_id, distance)``.  A node whose state says it is
+    covered (``cluster_id >= 0``) emits nothing; an uncovered node with at
+    least one claim emits the claim minimizing ``(distance, cluster_id)``.
+    The segment path evaluates this with ``logical_or.reduceat`` coverage
+    masks plus one lexsort — zero per-key Python calls; :meth:`reference` is
+    the per-key tuple-path twin the serial backend executes.
+    """
+
+    name = "cluster-claim"
+    values_ndim = 2
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        tags = sorted_values[:, 0]
+        cluster_ids = sorted_values[:, 1]
+        distances = sorted_values[:, 2]
+        is_state = tags == _STATE
+        covered = np.logical_or.reduceat(is_state & (cluster_ids >= 0), starts)
+        has_claim = np.logical_or.reduceat(~is_state, starts)
+        emit = ~covered & has_claim
+        # Winning claim per segment: pack (is_state, distance, cluster_id)
+        # into one int64 composite — state rows in the top bit so claims
+        # always win — and take one minimum.reduceat; the winner's fields are
+        # decoded straight from the composite, no sort needed.  The +1 shifts
+        # make the -1 sentinels of uncovered state rows non-negative.
+        dist_bits = max(1, int(distances.max() + 2).bit_length())
+        cid_bits = max(1, int(cluster_ids.max() + 2).bit_length())
+        if dist_bits + cid_bits <= 62:
+            packed = (
+                (is_state.astype(np.int64) << (dist_bits + cid_bits))
+                | ((distances + 1) << cid_bits)
+                | (cluster_ids + 1)
+            )
+            best = np.minimum.reduceat(packed, starts)
+            win_cids = (best & ((np.int64(1) << cid_bits) - 1)) - 1
+            win_dists = ((best >> cid_bits) & ((np.int64(1) << dist_bits) - 1)) - 1
+        else:  # pragma: no cover - only reachable on astronomically large ids
+            segment_ids = np.repeat(np.arange(starts.size), ends - starts)
+            order = np.lexsort((cluster_ids, distances, is_state, segment_ids))
+            winners = order[starts]
+            win_cids = cluster_ids[winners]
+            win_dists = distances[winners]
+        rows = np.column_stack(
+            (
+                np.full(starts.size, _CLAIM, dtype=np.int64),
+                win_cids,
+                win_dists,
+            )
+        )
+        return rows, emit
+
+    def reference(self, key, values):
+        covered = False
+        best: Optional[Tuple[int, int]] = None
+        for tag, cluster_id, dist in values:
+            if tag == _STATE:
+                if cluster_id >= 0:
+                    covered = True
+            elif best is None or (dist, cluster_id) < best:
+                best = (dist, cluster_id)
+        if covered or best is None:
+            return
+        yield (key, (_CLAIM, best[1], best[0]))
+
+
+CLUSTER_CLAIM_REDUCER = register_structured_reducer(ClusterClaimReducer())
 
 
 def _growing_round(
@@ -55,54 +190,32 @@ def _growing_round(
     distance: np.ndarray,
     frontier: np.ndarray,
 ) -> np.ndarray:
-    """Execute one cluster-growing step as a genuine MR round.
+    """Execute one cluster-growing step as a structured MR round.
 
     Returns the array of newly covered nodes (the next frontier).
     """
-    # Input pairs: the state of every frontier node plus, for claim routing,
-    # one pair per arc leaving the frontier (produced by the mapper below).
-    pairs: List[Tuple[int, tuple]] = [
-        (int(v), (_STATE, int(assignment[v]), int(distance[v]))) for v in frontier
-    ]
-    # Target states are needed so the reducer knows whether a node is covered;
-    # ship the state of every node that could receive a claim.
-    _, potential_targets = graph.neighbor_blocks(frontier)
-    for v in np.unique(potential_targets):
-        pairs.append((int(v), (_STATE, int(assignment[v]), int(distance[v]))))
-
-    adjacency = {int(v): graph.neighbors(int(v)).tolist() for v in frontier}
-
-    def mapper(key, value):
-        kind = value[0]
-        yield (key, value)
-        if kind == _STATE and key in adjacency and value[1] >= 0:
-            cluster_id, dist = value[1], value[2]
-            for neighbour in adjacency[key]:
-                yield (int(neighbour), (_CLAIM, cluster_id, dist + 1))
-
-    def reducer(key, values):
-        state = None
-        claims = []
-        for value in values:
-            if value[0] == _STATE:
-                # Several identical state copies may arrive; keep one.
-                state = value if state is None else state
-            else:
-                claims.append(value)
-        if state is not None and state[1] >= 0:
-            return  # already covered: ignore claims, state is unchanged elsewhere
-        if claims:
-            _, cluster_id, dist = min(claims, key=lambda c: (c[2], c[1]))
-            yield (key, (_CLAIM, cluster_id, dist))
-
-    accepted = engine.run_round(pairs, reducer, mapper=mapper, label="native-growing-step")
-    new_nodes = []
-    for node, (_, cluster_id, dist) in accepted:
-        if assignment[node] < 0:
-            assignment[node] = cluster_id
-            distance[node] = dist
-            new_nodes.append(node)
-    return np.asarray(sorted(new_nodes), dtype=np.int64)
+    states = ArrayPairs(
+        frontier,
+        np.column_stack(
+            (
+                np.full(frontier.size, _STATE, dtype=np.int64),
+                assignment[frontier],
+                distance[frontier],
+            )
+        ),
+    )
+    accepted = engine.run_structured_round(
+        states,
+        CLUSTER_CLAIM_REDUCER,
+        mapper=GrowingRoundMapper(graph, assignment, distance),
+        label="native-growing-step",
+    )
+    nodes = accepted.keys
+    fresh = assignment[nodes] < 0
+    nodes = nodes[fresh]
+    assignment[nodes] = accepted.values[fresh, 1]
+    distance[nodes] = accepted.values[fresh, 2]
+    return np.sort(nodes)
 
 
 def mr_cluster_native(
@@ -112,7 +225,7 @@ def mr_cluster_native(
     seed: SeedLike = None,
     model: Optional[MRModel] = None,
     max_iterations: Optional[int] = None,
-    backend: BackendSpec = "serial",
+    backend: BackendSpec = "vectorized",
     num_shards: Optional[int] = None,
 ) -> Tuple[Clustering, MREngine]:
     """Run CLUSTER(τ) with every growing step executed as an MR round.
@@ -124,9 +237,11 @@ def mr_cluster_native(
     in-memory run; per-node growth distances are pointwise at most those of
     the in-memory run because the reducer accepts the lightest claim.
 
-    ``backend`` / ``num_shards`` select how the rounds are physically executed
-    (:mod:`repro.mapreduce.backends`); all backends produce the same clustering
-    and the same metrics.
+    ``backend`` / ``num_shards`` select how the structured rounds are
+    physically executed (:mod:`repro.mapreduce.backends`): the ``vectorized``
+    default is the segment-reduction fast path, ``serial`` the per-pair tuple
+    path (the bit-compatibility reference), ``process`` the sharded pool.
+    All backends produce the same clustering and the same metrics.
     """
     if tau < 1:
         raise ValueError(f"tau must be a positive integer, got {tau}")

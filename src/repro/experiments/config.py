@@ -51,7 +51,11 @@ class ExperimentConfig:
         Execution backend (``serial`` / ``vectorized`` / ``process``) and
         shard count used by every MR engine the harness creates.  Metrics and
         results are backend-independent; the choice only affects wall-clock
-        time of the harness itself.
+        time of the harness itself.  Defaults to ``vectorized``: the MR
+        drivers now *execute* their rounds (structured rounds, see
+        :mod:`repro.mapreduce.structured`), and the segment fast path keeps
+        the harness as fast as the old charge-only accounting, while
+        ``serial`` would run every round through the per-pair tuple path.
     decomposition_method:
         Decomposition algorithm used by the pipeline-driven experiments
         (``cluster`` / ``cluster2`` / ``mpx`` / ``single-batch`` /
@@ -72,7 +76,7 @@ class ExperimentConfig:
     cost_model: CostModel = CostModel(round_latency=1.0, pair_cost=5.0e-5)
     hadi_registers: int = 16
     tail_multipliers: tuple = (0, 1, 2, 4, 6, 8, 10)
-    mr_backend: str = "serial"
+    mr_backend: str = "vectorized"
     mr_shards: Optional[int] = None
     decomposition_method: str = "cluster"
 

@@ -25,8 +25,12 @@ Kernel families
 * :func:`hop_bounded_relaxation` — level-synchronous Bellman–Ford rounds
   bounding the number of hops (the relaxation pattern of the weighted
   decomposition, exposed as a standalone kernel).
-* :func:`neighbor_reduce` — per-node reduction of neighbour values (the
-  HADI/ANF sketch-propagation primitive).
+* :func:`neighbor_reduce` — per-node reduction of neighbour values.  HADI's
+  production path now runs this as a structured MR round (the ``bitwise_or``
+  reducer of :mod:`repro.mapreduce.structured`); the kernel is kept as the
+  *independent in-memory reference* the structured round is cross-checked
+  against (``tests/mapreduce/test_structured.py``) and as the generic
+  neighbour-reduction primitive for non-MR callers.
 """
 
 from __future__ import annotations

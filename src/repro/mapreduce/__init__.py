@@ -14,8 +14,24 @@ from repro.mapreduce.engine import MREngine, identity_mapper
 from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRConstraintViolation, MRModel, rounds_for_primitive
 from repro.mapreduce.primitives import mr_prefix_sum, mr_segmented_prefix_sum, mr_sort
+from repro.mapreduce.structured import (
+    ArrayMapper,
+    CallableReducer,
+    StructuredOutcome,
+    StructuredReducer,
+    available_structured_reducers,
+    get_structured_reducer,
+    register_structured_reducer,
+)
 
 __all__ = [
+    "ArrayMapper",
+    "CallableReducer",
+    "StructuredOutcome",
+    "StructuredReducer",
+    "available_structured_reducers",
+    "get_structured_reducer",
+    "register_structured_reducer",
     "ArrayPairs",
     "ExecutionBackend",
     "SerialBackend",

@@ -24,28 +24,41 @@ a round — shuffle (grouping by key) and reduce — to an
     shard in a worker of a ``multiprocessing.Pool``, batching all reducer
     invocations of a shard into a single inter-process call — the shuffle
     costs O(shards) Python-level task submissions instead of O(pairs).
-    Reducers are shipped to workers by ``fork`` inheritance, so arbitrary
-    closures work on platforms with the ``fork`` start method (Linux); where
-    ``fork`` is unavailable the backend transparently degrades to in-process
-    shard-at-a-time execution with identical semantics.
+    One pool is forked lazily and reused across all of an engine's rounds
+    (picklable reducers travel inside each task; arbitrary closures fall back
+    to a per-round fork-inherited pool); where ``fork`` is unavailable the
+    backend transparently degrades to in-process shard-at-a-time execution
+    with identical semantics.
 
 Every backend implements the same contract and is *bit-compatible* with the
 serial reference: identical output pair lists (same order — groups are emitted
 in first-occurrence order of their key, exactly like dict insertion order) and
 identical :class:`~repro.mapreduce.metrics.MRMetrics`.  The cross-backend
 equivalence suite in ``tests/mapreduce/test_backends.py`` enforces this.
+
+Besides the classic per-key-callable rounds, every backend also executes
+*structured rounds* (:mod:`repro.mapreduce.structured`): declarative
+:class:`~repro.mapreduce.structured.StructuredReducer` specs evaluated over
+:class:`ArrayPairs` batches.  The serial backend runs them through the
+flattened tuple path (the bit-compatibility reference), the vectorized
+backend as pure segment reductions with zero per-key Python calls, and the
+process backend by sharding the key/value arrays across its worker pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (structured imports ArrayPairs)
+    from repro.mapreduce.structured import StructuredOutcome, StructuredReducer
 
 Key = Hashable
 Value = object
@@ -169,6 +182,27 @@ class ExecutionBackend(ABC):
     def shuffle_reduce(self, mapped: PairBatch, reducer: Reducer) -> RoundOutcome:
         """Group ``mapped`` by key and apply ``reducer`` to every group."""
 
+    def shuffle_reduce_structured(
+        self, mapped: "ArrayPairs", reducer: "StructuredReducer"
+    ) -> "StructuredOutcome":
+        """Group an :class:`ArrayPairs` batch and apply a structured reducer.
+
+        The base implementation is the *tuple path*: flatten to per-pair
+        tuples and run the reducer's reference callable through the dict
+        shuffle — the bit-compatibility baseline (and what custom backends
+        inherit for free).  Callable escape-hatch reducers are routed through
+        the backend's own classic :meth:`shuffle_reduce` so their execution
+        strategy matches the classic rounds of the same backend.
+        """
+        from repro.mapreduce import structured
+
+        if isinstance(reducer, structured.CallableReducer):
+            return structured.outcome_from_round(self.shuffle_reduce(mapped, reducer.reference))
+        return structured.execute_reference(mapped, reducer)
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); a no-op by default."""
+
     def execute_round(
         self, pairs: PairBatch, reducer: Reducer, mapper: Optional[Mapper] = None
     ) -> RoundOutcome:
@@ -202,15 +236,23 @@ class VectorizedBackend(ExecutionBackend):
     name = "vectorized"
 
     # Key-array dtypes eligible for the argsort fast path: integers, unsigned,
-    # booleans and fixed-width strings/bytes.  Floats are excluded because NaN
-    # breaks grouping-by-equality; object arrays because comparison may fail.
+    # booleans, fixed-width strings/bytes, and floats (NaN-free only — NaN
+    # breaks grouping-by-equality).  Object arrays are excluded because
+    # comparison may fail.
     _SORTABLE_KINDS = frozenset("iubUS")
+
+    @classmethod
+    def _sortable_key_array(cls, keys: np.ndarray) -> bool:
+        """True when ``keys`` can take the argsort fast path as-is."""
+        if keys.dtype.kind in cls._SORTABLE_KINDS:
+            return True
+        return keys.dtype.kind == "f" and not bool(np.isnan(keys).any())
 
     def shuffle_reduce(self, mapped: PairBatch, reducer: Reducer) -> RoundOutcome:
         if isinstance(mapped, ArrayPairs):
             if len(mapped) == 0:
                 return RoundOutcome([], 0, 0)
-            if mapped.keys.dtype.kind in self._SORTABLE_KINDS:
+            if self._sortable_key_array(mapped.keys):
                 # Fast path: keys and values stay as arrays; the only per-pair
                 # Python-object work is one C-level ``tolist`` per array.
                 return self._argsort_reduce(mapped.keys, mapped.keys.tolist(), mapped.values, reducer)
@@ -235,7 +277,17 @@ class VectorizedBackend(ExecutionBackend):
             array = np.asarray(keys)
         except (ValueError, TypeError):  # ragged tuples and friends
             return None
-        if array.ndim != 1 or array.dtype.kind not in cls._SORTABLE_KINDS:
+        if array.ndim != 1:
+            return None
+        if array.dtype.kind == "f":
+            # Floats are sortable as long as no key is NaN (NaN defeats
+            # grouping-by-equality) and no key was silently coerced: a large
+            # int coerced to float64 could merge keys a dict keeps distinct,
+            # so the fast path only trusts genuinely-float key lists.
+            if np.isnan(array).any() or any(type(k) is not float for k in keys):
+                return None
+            return array
+        if array.dtype.kind not in cls._SORTABLE_KINDS:
             return None
         if array.dtype.kind in "US":
             # np.asarray coerces mixed key types to a common string dtype
@@ -284,26 +336,58 @@ class VectorizedBackend(ExecutionBackend):
             output.extend(reducer(key, sorted_values[starts_list[group]:ends_list[group]]))
         return RoundOutcome(output, len(key_objects), max_reducer_input)
 
+    def shuffle_reduce_structured(
+        self, mapped: "ArrayPairs", reducer: "StructuredReducer"
+    ) -> "StructuredOutcome":
+        """Structured fast path: one stable argsort + pure segment reductions.
+
+        Zero per-key Python calls — the reducer is evaluated with
+        ``np.<ufunc>.reduceat``-style passes over the whole sorted value
+        array.  Callable escape-hatch reducers run through the classic
+        argsort shuffle (per-group Python calls) instead.
+        """
+        from repro.mapreduce import structured
+
+        if isinstance(reducer, structured.CallableReducer):
+            return structured.outcome_from_round(self.shuffle_reduce(mapped, reducer.reference))
+        return structured.execute_segments(mapped, reducer)
+
 
 # ---------------------------------------------------------------------- #
 # Process backend
 # ---------------------------------------------------------------------- #
-# The reducer is handed to pool workers by fork inheritance: it is stored in a
-# module-level slot immediately before the pool is created, and the forked
-# children see it without pickling — which is what lets the engine run the
-# closure-heavy reducers of mr_native in worker processes.
+# Picklable reducers are shipped to the workers of one *persistent* pool
+# inside each task; non-picklable reducers (arbitrary closures) are handed to
+# a freshly forked per-round pool by fork inheritance: stored in this
+# module-level slot immediately before the fork, so the children see them
+# without pickling.
 _ACTIVE_REDUCER: Optional[Reducer] = None
 
 
 def _reduce_shard(shard: List[Tuple[int, Key, Value]]) -> Tuple[List[Tuple[int, List[Pair]]], int]:
+    """Group and reduce one shard with the fork-inherited reducer slot."""
+    reducer = _ACTIVE_REDUCER
+    assert reducer is not None, "reducer slot not populated before shard execution"
+    return _reduce_shard_with(reducer, shard)
+
+
+def _reduce_shard_task(
+    task: Tuple[Reducer, List[Tuple[int, Key, Value]]],
+) -> Tuple[List[Tuple[int, List[Pair]]], int]:
+    """Pool task carrying its (picklable) reducer inline — persistent-pool path."""
+    reducer, shard = task
+    return _reduce_shard_with(reducer, shard)
+
+
+def _reduce_shard_with(
+    reducer: Reducer, shard: List[Tuple[int, Key, Value]]
+) -> Tuple[List[Tuple[int, List[Pair]]], int]:
     """Group and reduce one shard; runs inside a pool worker (or in-process).
 
     Returns ``(groups, max_reducer_input)`` where every group is
     ``(first_global_index, reducer_output)`` so the driver can interleave
     groups from all shards back into first-occurrence order.
     """
-    reducer = _ACTIVE_REDUCER
-    assert reducer is not None, "reducer slot not populated before shard execution"
     first_index: Dict[Key, int] = {}
     groups: Dict[Key, List[Value]] = {}
     for index, key, value in shard:
@@ -327,13 +411,20 @@ class ProcessBackend(ExecutionBackend):
     worker call.  Output groups are merged back in first-occurrence order, so
     the result is bit-identical to the serial backend.
 
-    A fresh pool is forked for every round (that is what lets arbitrary
-    reducer closures reach the workers without pickling), so each round pays
-    a fixed pool setup/teardown cost of tens of milliseconds.  The backend
-    therefore suits algorithms with *few, large* rounds and expensive
-    reducers; for round-heavy drivers such as
-    :func:`repro.core.mr_native.mr_cluster_native` on small graphs the serial
-    or vectorized backend is usually faster.
+    One worker pool is forked lazily on first use and *reused across all of
+    an engine's rounds* — picklable reducers (module-level functions,
+    :class:`~repro.mapreduce.structured.StructuredReducer` instances) travel
+    inside each task, so the tens-of-milliseconds pool setup cost is paid
+    once instead of per round, which makes the backend viable for round-heavy
+    drivers.  Non-picklable reducers (arbitrary closures) still work: they
+    reach the workers of a freshly forked per-round pool by fork inheritance,
+    exactly as before.  Release the pool with :meth:`close` (also called by
+    ``MREngine.close()`` / the engine's context manager, and on garbage
+    collection); a closed backend lazily re-creates the pool if used again.
+
+    Structured rounds are sharded as *arrays*: the key array is partitioned
+    with ``keys % num_shards`` masks (no per-pair tuples) and every shard is
+    reduced with the same segment reductions as the vectorized backend.
 
     Parameters
     ----------
@@ -349,7 +440,39 @@ class ProcessBackend(ExecutionBackend):
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards if num_shards is not None else (os.cpu_count() or 1)
         self._fork_available = "fork" in multiprocessing.get_all_start_methods()
+        self._pool = None
 
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        """The persistent worker pool, forked lazily on first use."""
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            workers = min(self.num_shards, os.cpu_count() or 1)
+            self._pool = context.Pool(processes=workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (re-created lazily if used again)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @staticmethod
+    def _picklable(reducer: object) -> bool:
+        try:
+            pickle.dumps(reducer)
+            return True
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------ #
     def shuffle_reduce(self, mapped: PairBatch, reducer: Reducer) -> RoundOutcome:
         mapped_list = _flatten(mapped)
         if not mapped_list:
@@ -360,20 +483,25 @@ class ProcessBackend(ExecutionBackend):
             shards[hash(key) % self.num_shards].append((index, key, value))
         shards = [shard for shard in shards if shard]
 
-        global _ACTIVE_REDUCER
-        _ACTIVE_REDUCER = reducer
-        try:
-            if self._fork_available and len(shards) > 1:
+        if self._fork_available and len(shards) > 1 and self._picklable(reducer):
+            # Persistent-pool path: the reducer travels inside each task.
+            pool = self._ensure_pool()
+            results = pool.map(_reduce_shard_task, [(reducer, shard) for shard in shards])
+        elif self._fork_available and len(shards) > 1:
+            # Closure reducers reach a per-round pool by fork inheritance.
+            global _ACTIVE_REDUCER
+            _ACTIVE_REDUCER = reducer
+            try:
                 context = multiprocessing.get_context("fork")
                 workers = min(len(shards), self.num_shards, os.cpu_count() or 1)
                 with context.Pool(processes=workers) as pool:
                     results = pool.map(_reduce_shard, shards)
-            else:
-                # Single shard, or no fork on this platform: batched in-process
-                # execution with identical semantics.
-                results = [_reduce_shard(shard) for shard in shards]
-        finally:
-            _ACTIVE_REDUCER = None
+            finally:
+                _ACTIVE_REDUCER = None
+        else:
+            # Single shard, or no fork on this platform: batched in-process
+            # execution with identical semantics.
+            results = [_reduce_shard_with(reducer, shard) for shard in shards]
 
         max_reducer_input = max((max_input for _, max_input in results), default=0)
         groups: List[Tuple[int, List[Pair]]] = []
@@ -384,6 +512,42 @@ class ProcessBackend(ExecutionBackend):
         for _, group_output in groups:
             output.extend(group_output)
         return RoundOutcome(output, len(mapped_list), max_reducer_input)
+
+    def shuffle_reduce_structured(
+        self, mapped: "ArrayPairs", reducer: "StructuredReducer"
+    ) -> "StructuredOutcome":
+        """Array-native sharded execution of a structured round.
+
+        Shards are carved out of the key/value arrays with ``keys %
+        num_shards`` masks — no per-pair tuple list is ever built — and each
+        shard is segment-reduced in a persistent-pool worker.  Key arrays
+        that cannot be mod-sharded (strings, floats) run the single-driver
+        segment path instead; the output and counters are identical either
+        way.
+        """
+        from repro.mapreduce import structured
+
+        if isinstance(reducer, structured.CallableReducer):
+            return structured.outcome_from_round(self.shuffle_reduce(mapped, reducer.reference))
+        reducer.validate_values(mapped.values)
+        if len(mapped) == 0 or not structured.segment_eligible(mapped.keys):
+            return structured.execute_segments(mapped, reducer)
+        keys = mapped.keys
+        if keys.dtype.kind not in "iub" or self.num_shards == 1:
+            return structured.execute_segments(mapped, reducer)
+
+        shard_ids = keys.astype(np.int64, copy=False) % self.num_shards
+        tasks = []
+        for shard in range(self.num_shards):
+            indices = np.flatnonzero(shard_ids == shard)
+            if indices.size:
+                tasks.append((reducer, keys[indices], mapped.values[indices], indices))
+        if self._fork_available and len(tasks) > 1 and self._picklable(reducer):
+            pool = self._ensure_pool()
+            results = pool.map(structured.reduce_structured_shard, tasks)
+        else:
+            results = [structured.reduce_structured_shard(task) for task in tasks]
+        return structured.merge_shard_groups(mapped, reducer, results)
 
 
 _BACKENDS: Dict[str, Callable[[Optional[int]], ExecutionBackend]] = {

@@ -11,24 +11,47 @@ every round the engine
   and
 * checks the M_L / M_G constraints via :class:`~repro.mapreduce.model.MRModel`.
 
+Rounds come in two flavours:
+
+* **classic rounds** (:meth:`MREngine.run_round`) — per-pair tuples, a Python
+  callable per mapped pair and per key group; maximally general, maximally
+  slow; and
+* **structured rounds** (:meth:`MREngine.run_structured_round`) — the map
+  phase emits an unflattened :class:`~repro.mapreduce.backends.ArrayPairs`
+  batch through the :class:`~repro.mapreduce.structured.ArrayMapper`
+  protocol, and the reduce phase is a declarative
+  :class:`~repro.mapreduce.structured.StructuredReducer` (``min`` / ``max`` /
+  ``sum`` / ``count`` / ``first`` / ``argmin`` / ``bitwise_or`` / custom)
+  that the backends evaluate as C-level segment reductions — no per-pair or
+  per-key Python calls on the fast path.  The metrics (pairs shuffled, max
+  reducer input, live pairs) are metered from the array shapes and are
+  bit-identical to executing the same round through the tuple path.
+
 The physical execution of the shuffle+reduce is pluggable
 (:mod:`repro.mapreduce.backends`): ``backend="serial"`` is the dict-based
-reference, ``backend="vectorized"`` groups with NumPy argsort (and accepts the
-unflattened :class:`~repro.mapreduce.backends.ArrayPairs` batches),
-``backend="process"`` hash-shards the shuffle across a
-``multiprocessing.Pool``.  All backends are bit-compatible: identical output
-pairs and identical metrics, so round/communication numbers reported by the
-experiment harness do not depend on the backend choice.
+reference (structured rounds run through the flattened tuple path — the
+bit-compatibility baseline), ``backend="vectorized"`` groups with NumPy
+argsort and evaluates structured reducers with segment reductions,
+``backend="process"`` hash-shards the shuffle across a persistent
+``multiprocessing.Pool`` (structured rounds are sharded as key/value arrays).
+All backends are bit-compatible: identical output pairs and identical
+metrics, so round/communication numbers reported by the experiment harness do
+not depend on the backend choice.
 
-The MR drivers of the core algorithms (:mod:`repro.core.mr_algorithms`) and
-of the baselines are built on this engine, so the rounds / communication
-volumes reported in the Table 4 and Figure 1 reproductions are measured, not
-asserted.
+The MR drivers of the core algorithms (:mod:`repro.core.mr_algorithms`,
+:mod:`repro.core.mr_native`) and of the baselines (BFS, HADI) are built on
+this engine, so the rounds / communication volumes reported in the Table 4
+and Figure 1 reproductions are measured, not asserted.  The engine is a
+context manager — ``with MREngine(backend="process") as engine: ...``
+releases the backend's worker pool on exit (``close()`` does the same
+explicitly; pools are re-created lazily if the engine is used again).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.mapreduce.backends import (
     ArrayPairs,
@@ -38,6 +61,12 @@ from repro.mapreduce.backends import (
 )
 from repro.mapreduce.metrics import MRMetrics
 from repro.mapreduce.model import MRModel
+from repro.mapreduce.structured import (
+    ArrayMapper,
+    StructuredReducer,
+    apply_array_mapper,
+    resolve_structured_reducer,
+)
 
 Key = Hashable
 Value = object
@@ -69,8 +98,9 @@ class MREngine:
         :class:`~repro.mapreduce.backends.ExecutionBackend` instance.
         Backends are bit-compatible; pick ``vectorized`` for large
         single-machine workloads, ``process`` to use multiple cores on
-        few-round workloads with expensive reducers (it forks a fresh pool
-        every round, so per-round overhead is tens of milliseconds).
+        workloads with large rounds or expensive reducers (one worker pool
+        is forked lazily and reused across all of the engine's rounds —
+        release it with :meth:`close` or the engine's context manager).
     num_shards:
         Shard count for the ``process`` backend (defaults to the CPU count);
         ignored by the other backends.
@@ -120,6 +150,43 @@ class MREngine:
         )
         return outcome.output
 
+    def run_structured_round(
+        self,
+        pairs: ArrayPairs,
+        reducer: Union[str, StructuredReducer, Reducer],
+        *,
+        mapper: Union[ArrayMapper, Callable[[ArrayPairs], ArrayPairs], None] = None,
+        label: str = "round",
+    ) -> ArrayPairs:
+        """Execute one array-native map → shuffle → reduce round.
+
+        ``pairs`` is an unflattened :class:`ArrayPairs` batch; ``mapper`` (an
+        :class:`~repro.mapreduce.structured.ArrayMapper` or any ``ArrayPairs
+        -> ArrayPairs`` callable) runs once over the whole batch; ``reducer``
+        is a registered structured-reducer name (``"min"``, ``"sum"``,
+        ``"first"``, ``"argmin"``, ``"bitwise_or"``, ...), a
+        :class:`~repro.mapreduce.structured.StructuredReducer` instance, or —
+        the escape hatch — a plain per-key callable executed through the
+        classic machinery.  The same :class:`MRMetrics` counters as
+        :meth:`run_round` are metered from the array shapes, bit-identical to
+        the tuple path, and the output batch preserves first-occurrence key
+        order.
+        """
+        structured_reducer = resolve_structured_reducer(reducer)
+        mapped = apply_array_mapper(mapper, pairs)
+        outcome = self.backend.shuffle_reduce_structured(mapped, structured_reducer)
+        live_pairs = max(outcome.pairs_shuffled, len(outcome.output))
+        self.metrics.record_round(
+            pairs_shuffled=outcome.pairs_shuffled,
+            max_reducer_input=outcome.max_reducer_input,
+            live_pairs=live_pairs,
+            label=label,
+        )
+        self.model.check_round(
+            max_reducer_input=outcome.max_reducer_input, live_pairs=live_pairs
+        )
+        return outcome.output
+
     def run_rounds(
         self,
         pairs: PairBatch,
@@ -153,6 +220,35 @@ class MREngine:
                 live_pairs=pairs_per_round,
                 label=label,
             )
+
+    def charge_rounds_batch(self, pairs_per_round, *, label: str = "charged") -> None:
+        """Vectorized :meth:`charge_rounds`: one charged round per array entry.
+
+        ``pairs_per_round`` is an integer array-like; the counters are updated
+        with whole-array reductions (sum / max) instead of one Python-level
+        ``record_round`` call per charged round, which is what keeps the
+        trace-replay accounting of :func:`repro.core.mr_algorithms.charge_clustering_rounds`
+        array-native.  Semantically identical to looping ``charge_rounds(1,
+        pairs_per_round=p)`` over the entries.
+        """
+        charges = np.asarray(pairs_per_round, dtype=np.int64)
+        if charges.ndim != 1:
+            raise ValueError(f"pairs_per_round must be one-dimensional, got shape {charges.shape}")
+        self.metrics.record_charged_rounds(charges, label=label)
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the process backend's worker pool).
+
+        Safe to call more than once; the backend lazily re-acquires its
+        resources if the engine is used again afterwards.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "MREngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def reset(self) -> None:
         """Clear accumulated metrics (the model's violation log is kept)."""

@@ -63,6 +63,24 @@ class MRMetrics:
         self.max_live_pairs = max(self.max_live_pairs, int(live_pairs))
         self.per_label[label] = self.per_label.get(label, 0) + 1
 
+    def record_charged_rounds(self, pairs_per_round, *, label: str = "charged") -> None:
+        """Record a batch of charged rounds with whole-array reductions.
+
+        ``pairs_per_round`` holds one entry per charged round (its shuffled /
+        live pair count; charged rounds have no reducer input).  Counter
+        updates are identical to calling :meth:`record_round` once per entry
+        with ``max_reducer_input=0`` — only the per-round Python loop is gone.
+        """
+        charges = pairs_per_round
+        if charges.size == 0:
+            return
+        self.rounds += int(charges.size)
+        self.shuffled_pairs += int(charges.sum())
+        peak = int(charges.max())
+        self.max_round_pairs = max(self.max_round_pairs, peak)
+        self.max_live_pairs = max(self.max_live_pairs, peak)
+        self.per_label[label] = self.per_label.get(label, 0) + int(charges.size)
+
     def merge(self, other: "MRMetrics") -> "MRMetrics":
         """Accumulate ``other`` into ``self`` (returns self for chaining)."""
         self.rounds += other.rounds

@@ -1,0 +1,563 @@
+"""Structured MR rounds: array-native reducers executed as segment reductions.
+
+The classic engine path (:meth:`~repro.mapreduce.engine.MREngine.run_round`)
+invokes one Python callable per key, which is exactly the per-pair /
+per-key object cost the paper's linear-communication algorithms are supposed
+to avoid.  A *structured round* replaces the callable with a declarative
+:class:`StructuredReducer` drawn from a registry (``min``, ``max``, ``sum``,
+``count``, ``first``, ``argmin``, ``bitwise_or``, or a custom registration)
+that every backend knows how to execute over an unflattened
+:class:`~repro.mapreduce.backends.ArrayPairs` batch:
+
+``serial``
+    Flattens the batch to per-pair Python tuples and runs the reducer's
+    :meth:`~StructuredReducer.reference` callable through the dict shuffle —
+    the *tuple path*, kept as the bit-compatibility reference (and as the
+    slow side of the structured-vs-tuple benchmark gates).
+
+``vectorized``
+    Groups with one stable ``argsort`` over the key array and evaluates the
+    reducer with ``np.<ufunc>.reduceat``-style *segment reductions*
+    (:meth:`~StructuredReducer.segment_reduce`) — zero per-key Python calls.
+
+``process``
+    Shards the key/value *arrays* by ``keys % num_shards`` (array masks, no
+    per-pair tuples), runs the segment reduction per shard in a pool worker,
+    and merges the emitted groups back into first-occurrence order.
+
+All three produce bit-identical :class:`StructuredOutcome`\\ s — same output
+arrays in the same (first-occurrence) order, same counters — so the metered
+``MRMetrics`` never depend on the execution strategy.  (One carve-out: the
+``sum`` reducer requires group sums to fit the value dtype — integer
+overflow wraps on the segment path but not in exact Python arithmetic, so
+overflowing workloads are outside the contract.)  Map phases emit
+``ArrayPairs`` directly via the :class:`ArrayMapper` protocol (e.g. frontier
+claim expansion is one ``np.repeat``/gather over the CSR arrays, reusing the
+:mod:`repro.graph.kernels` primitives).
+
+Registering a custom segment reducer::
+
+    class MyReducer(StructuredReducer):
+        name = "my-reducer"
+        def segment_reduce(self, sorted_values, starts, ends): ...
+        def reference(self, key, values): ...
+
+    register_structured_reducer(MyReducer())
+    engine.run_structured_round(batch, "my-reducer")
+
+Passing a plain callable to ``run_structured_round`` engages the escape
+hatch: the round is executed through the classic per-key callable machinery
+(still grouped with the backend's shuffle) and the output is converted back
+to arrays, so unported reducers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.mapreduce.backends import ArrayPairs
+
+Key = Hashable
+Value = object
+Pair = Tuple[Key, Value]
+Reducer = Callable[[Key, List[Value]], Iterable[Pair]]
+
+__all__ = [
+    "StructuredOutcome",
+    "StructuredReducer",
+    "CallableReducer",
+    "ArrayMapper",
+    "register_structured_reducer",
+    "get_structured_reducer",
+    "available_structured_reducers",
+    "resolve_structured_reducer",
+    "apply_array_mapper",
+    "execute_reference",
+    "execute_segments",
+    "grouping_order",
+    "segment_eligible",
+    "reduce_structured_shard",
+    "merge_shard_groups",
+    "outcome_from_round",
+]
+
+# Key-array dtypes a structured round can group with one argsort: integers,
+# unsigned, booleans, fixed-width strings/bytes, and floats (NaN-free — the
+# caller checks, since NaN breaks grouping-by-equality).
+_SEGMENT_KEY_KINDS = frozenset("iubUSf")
+
+
+@dataclass(frozen=True)
+class StructuredOutcome:
+    """What a backend reports after executing one structured shuffle+reduce.
+
+    The array-native analogue of
+    :class:`~repro.mapreduce.backends.RoundOutcome`: ``output`` is an
+    :class:`ArrayPairs` batch (groups in first-occurrence order of their
+    key), the counters are the same metered quantities.
+    """
+
+    output: ArrayPairs
+    pairs_shuffled: int
+    max_reducer_input: int
+
+
+class ArrayMapper:
+    """Protocol for map phases that emit :class:`ArrayPairs` directly.
+
+    A structured mapper transforms one unflattened batch into another with
+    whole-array operations (gathers, ``np.repeat``, ``np.column_stack``) —
+    never per-pair Python objects.  Any object with a compatible
+    ``map_batch`` (or any plain ``ArrayPairs -> ArrayPairs`` callable) is
+    accepted by :meth:`MREngine.run_structured_round`; subclassing is
+    optional and only buys isinstance checks.
+    """
+
+    def map_batch(self, batch: ArrayPairs) -> ArrayPairs:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def apply_array_mapper(
+    mapper: Union[ArrayMapper, Callable[[ArrayPairs], ArrayPairs], None],
+    batch: ArrayPairs,
+) -> ArrayPairs:
+    """Run an :class:`ArrayMapper` (or a bare callable) over ``batch``."""
+    if mapper is None:
+        return batch
+    if hasattr(mapper, "map_batch"):
+        return mapper.map_batch(batch)
+    return mapper(batch)
+
+
+# --------------------------------------------------------------------------- #
+# Reducer vocabulary
+# --------------------------------------------------------------------------- #
+class StructuredReducer(ABC):
+    """A reducer the backends can evaluate without per-key Python calls.
+
+    Implementations provide two semantically identical evaluations:
+
+    * :meth:`segment_reduce` — the array fast path: given the value rows
+      sorted by key and the segment boundaries of each group, produce one
+      reduced row per group (plus an optional emit mask for reducers that
+      drop groups); and
+    * :meth:`reference` — the per-key tuple-path callable with the exact
+      same semantics, used by the serial backend and by the escape-hatch /
+      fallback paths.  Bit-compatibility between the two is what the
+      cross-backend equivalence suite enforces.
+
+    ``values_ndim`` restricts the accepted value-array rank (``None`` = any);
+    violating it raises ``ValueError`` identically on every backend.
+    """
+
+    name: str = "abstract"
+    #: Required rank of the values array (1 = scalars, 2 = rows); None = any.
+    values_ndim: Optional[int] = None
+
+    @abstractmethod
+    def segment_reduce(
+        self, sorted_values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Reduce each segment ``sorted_values[starts[i]:ends[i]]``.
+
+        Returns ``(rows, emit_mask)`` where ``rows`` holds one reduced value
+        per segment and ``emit_mask`` (or ``None`` for all-emit) selects the
+        groups that produce output.
+        """
+
+    @abstractmethod
+    def reference(self, key: Key, values: List[Value]) -> Iterable[Pair]:
+        """Tuple-path callable with semantics identical to the segment path."""
+
+    # ------------------------------------------------------------------ #
+    def result_dtype(self, values: np.ndarray) -> np.dtype:
+        """Dtype of the output value array (defaults to the input dtype)."""
+        return values.dtype
+
+    def result_row_shape(self, values: np.ndarray) -> Tuple[int, ...]:
+        """Trailing shape of one output value (defaults to the input row)."""
+        return values.shape[1:]
+
+    def validate_values(self, values: np.ndarray) -> None:
+        """Reject value arrays this reducer cannot evaluate (all backends)."""
+        if self.values_ndim is not None and values.ndim != self.values_ndim:
+            raise ValueError(
+                f"structured reducer {self.name!r} requires a "
+                f"{self.values_ndim}-d values array, got ndim={values.ndim}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CallableReducer(StructuredReducer):
+    """Escape hatch: wrap an arbitrary per-key callable as a structured reducer.
+
+    The wrapped callable runs through the classic per-key machinery on every
+    backend (the vectorized backend still groups with its argsort shuffle but
+    invokes Python per group), so correctness never depends on a segment
+    implementation existing.
+    """
+
+    name = "callable"
+    supports_segments = False
+
+    def __init__(self, func: Reducer) -> None:
+        self.func = func
+
+    def segment_reduce(self, sorted_values, starts, ends):  # pragma: no cover
+        raise NotImplementedError("CallableReducer has no segment fast path")
+
+    def reference(self, key, values):
+        return self.func(key, values)
+
+
+class _MinReducer(StructuredReducer):
+    name = "min"
+    values_ndim = 1
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        return np.minimum.reduceat(sorted_values, starts), None
+
+    def reference(self, key, values):
+        yield (key, min(values))
+
+
+class _MaxReducer(StructuredReducer):
+    name = "max"
+    values_ndim = 1
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        return np.maximum.reduceat(sorted_values, starts), None
+
+    def reference(self, key, values):
+        yield (key, max(values))
+
+
+class _SumReducer(StructuredReducer):
+    """Per-group sum.  Group sums must fit the value dtype: the segment path
+    wraps on int64/uint64 overflow (NumPy semantics) while the tuple path
+    sums exactly in Python and then fails to convert, so workloads whose sums
+    overflow are outside the bit-compatibility contract."""
+
+    name = "sum"
+    values_ndim = 1
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        return np.add.reduceat(sorted_values, starts), None
+
+    def reference(self, key, values):
+        yield (key, sum(values))
+
+
+class _CountReducer(StructuredReducer):
+    name = "count"
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        return (ends - starts).astype(np.int64), None
+
+    def reference(self, key, values):
+        yield (key, len(values))
+
+    def result_dtype(self, values):
+        return np.dtype(np.int64)
+
+    def result_row_shape(self, values):
+        return ()
+
+
+class _FirstReducer(StructuredReducer):
+    name = "first"
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        # The stable key sort keeps arrival order within a group, so the
+        # segment head is the first-arriving value — dict semantics.
+        return sorted_values[starts], None
+
+    def reference(self, key, values):
+        yield (key, values[0])
+
+
+class _ArgminReducer(StructuredReducer):
+    """Keep, per group, the lexicographically smallest composite-key row.
+
+    Values are 2-d rows; the winner is the row minimizing
+    ``(row[0], row[1], ...)``, ties resolved by arrival order — exactly
+    ``min(values)`` over the flattened row lists.
+    """
+
+    name = "argmin"
+    values_ndim = 2
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        segment_ids = np.repeat(np.arange(starts.size), ends - starts)
+        # lexsort: last key is primary — segment first, then columns left to
+        # right; the stable sort keeps arrival order among tied rows.
+        keys = tuple(sorted_values[:, c] for c in range(sorted_values.shape[1] - 1, -1, -1))
+        order = np.lexsort(keys + (segment_ids,))
+        return sorted_values[order[starts]], None
+
+    def reference(self, key, values):
+        yield (key, min(values))
+
+
+class _BitwiseOrReducer(StructuredReducer):
+    """Bitwise OR of every value in the group (HADI/ANF sketch merging)."""
+
+    name = "bitwise_or"
+
+    def segment_reduce(self, sorted_values, starts, ends):
+        return np.bitwise_or.reduceat(sorted_values, starts, axis=0), None
+
+    def reference(self, key, values):
+        merged = values[0]
+        for value in values[1:]:
+            if isinstance(merged, (list, tuple)):
+                merged = [a | b for a, b in zip(merged, value)]
+            else:
+                merged = merged | value
+        yield (key, merged)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, StructuredReducer] = {}
+
+
+def register_structured_reducer(reducer: StructuredReducer, *, overwrite: bool = False) -> StructuredReducer:
+    """Add ``reducer`` to the registry under ``reducer.name``.
+
+    Custom reducers must be module-level classes (the process backend ships
+    them to pool workers by pickling).  Returns the reducer for chaining.
+    """
+    if not isinstance(reducer, StructuredReducer):
+        raise TypeError(f"expected a StructuredReducer, got {type(reducer).__name__}")
+    if not overwrite and reducer.name in _REGISTRY:
+        raise ValueError(f"structured reducer {reducer.name!r} already registered")
+    _REGISTRY[reducer.name] = reducer
+    return reducer
+
+
+def get_structured_reducer(name: str) -> StructuredReducer:
+    """Look up a registered reducer by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown structured reducer {name!r}; available: {available_structured_reducers()}"
+        ) from None
+
+
+def available_structured_reducers() -> List[str]:
+    """Sorted names accepted by :func:`get_structured_reducer`."""
+    return sorted(_REGISTRY)
+
+
+def resolve_structured_reducer(
+    spec: Union[str, StructuredReducer, Reducer],
+) -> StructuredReducer:
+    """Resolve a name / instance / plain callable to a :class:`StructuredReducer`."""
+    if isinstance(spec, StructuredReducer):
+        return spec
+    if isinstance(spec, str):
+        return get_structured_reducer(spec)
+    if callable(spec):
+        return CallableReducer(spec)
+    raise TypeError(f"cannot resolve {spec!r} to a structured reducer")
+
+
+for _reducer in (
+    _MinReducer(),
+    _MaxReducer(),
+    _SumReducer(),
+    _CountReducer(),
+    _FirstReducer(),
+    _ArgminReducer(),
+    _BitwiseOrReducer(),
+):
+    register_structured_reducer(_reducer)
+
+
+# --------------------------------------------------------------------------- #
+# Execution strategies
+# --------------------------------------------------------------------------- #
+def segment_eligible(keys: np.ndarray) -> bool:
+    """True when the key array can be grouped with one stable argsort."""
+    if keys.dtype.kind not in _SEGMENT_KEY_KINDS:
+        return False
+    if keys.dtype.kind == "f" and bool(np.isnan(keys).any()):
+        return False
+    return True
+
+
+def _empty_outcome(mapped: ArrayPairs, reducer: StructuredReducer) -> StructuredOutcome:
+    keys = np.zeros(0, dtype=mapped.keys.dtype)
+    values = np.zeros(
+        (0,) + reducer.result_row_shape(mapped.values), dtype=reducer.result_dtype(mapped.values)
+    )
+    return StructuredOutcome(ArrayPairs(keys, values), 0, 0)
+
+
+def execute_reference(mapped: ArrayPairs, reducer: StructuredReducer) -> StructuredOutcome:
+    """The tuple path: flatten to per-pair tuples, dict shuffle, per-key calls.
+
+    This is the bit-compatibility reference every other strategy is tested
+    against — it deliberately pays the per-pair Python-object cost the
+    structured fast paths exist to avoid.
+    """
+    reducer.validate_values(mapped.values)
+    if len(mapped) == 0:
+        return _empty_outcome(mapped, reducer)
+    groups: Dict[Key, List[Value]] = {}
+    for key, value in mapped.to_pairs():
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [value]
+        else:
+            bucket.append(value)
+    max_input = max(len(bucket) for bucket in groups.values())
+    out_keys: List[Key] = []
+    out_values: List[Value] = []
+    for key, bucket in groups.items():
+        for out_key, out_value in reducer.reference(key, bucket):
+            out_keys.append(out_key)
+            out_values.append(out_value)
+    if not out_keys:
+        outcome = _empty_outcome(mapped, reducer)
+        return StructuredOutcome(outcome.output, len(mapped), max_input)
+    keys_array = np.asarray(out_keys, dtype=mapped.keys.dtype)
+    values_array = np.asarray(out_values, dtype=reducer.result_dtype(mapped.values))
+    return StructuredOutcome(ArrayPairs(keys_array, values_array), len(mapped), max_input)
+
+
+def grouping_order(keys: np.ndarray) -> np.ndarray:
+    """Stable permutation sorting ``keys`` (the shuffle's grouping pass).
+
+    Semantically ``np.argsort(keys, kind="stable")``, with two much faster
+    routes for the integer node-id keys every MR driver uses: a radix argsort
+    when the key range fits 16 bits, and otherwise a pack-sort — key in the
+    high bits, position in the low bits of one int64, sorted with an unstable
+    C quicksort (the embedded position makes the order stable by
+    construction).  Both return the identical permutation.
+    """
+    n = keys.size
+    if n > 1 and keys.dtype.kind in "iu":
+        lo = int(keys.min())
+        hi = int(keys.max())
+        if hi - lo < (1 << 16):
+            return np.argsort((keys - lo).astype(np.uint16), kind="stable")
+        index_bits = max(1, (n - 1).bit_length())
+        if lo >= 0 and hi.bit_length() + index_bits <= 63:
+            packed = (keys.astype(np.int64) << index_bits) | np.arange(n, dtype=np.int64)
+            packed.sort()
+            return packed & ((np.int64(1) << index_bits) - np.int64(1))
+    return np.argsort(keys, kind="stable")
+
+
+def _segment_groups(
+    keys: np.ndarray, values: np.ndarray, reducer: StructuredReducer, global_indices: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Group+reduce one key/value array pair with segment reductions.
+
+    Returns ``(first_occurrence, group_keys, rows, max_input)`` restricted to
+    the emitting groups; ``first_occurrence`` is expressed in the caller's
+    index space (``global_indices`` when sharded, local positions otherwise).
+    """
+    order = grouping_order(keys)
+    sorted_keys = keys[order]
+    boundary = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], boundary))
+    ends = np.concatenate((boundary, [sorted_keys.size]))
+    max_input = int((ends - starts).max())
+    rows, emit = reducer.segment_reduce(values[order], starts, ends)
+    first_occurrence = order[starts]
+    if global_indices is not None:
+        first_occurrence = global_indices[first_occurrence]
+    group_keys = sorted_keys[starts]
+    if emit is not None:
+        first_occurrence = first_occurrence[emit]
+        group_keys = group_keys[emit]
+        rows = rows[emit]
+    return first_occurrence, group_keys, rows, max_input
+
+
+def execute_segments(mapped: ArrayPairs, reducer: StructuredReducer) -> StructuredOutcome:
+    """The array fast path: one stable argsort + pure segment reductions.
+
+    Falls back to :func:`execute_reference` when the key array cannot be
+    argsort-grouped (object dtype, NaN floats) so the call never fails where
+    the serial backend would succeed.
+    """
+    reducer.validate_values(mapped.values)
+    if len(mapped) == 0:
+        return _empty_outcome(mapped, reducer)
+    if not segment_eligible(mapped.keys):
+        return execute_reference(mapped, reducer)
+    first_occurrence, group_keys, rows, max_input = _segment_groups(
+        mapped.keys, mapped.values, reducer, None
+    )
+    # First-occurrence indices are distinct, so an unstable sort suffices.
+    emit_order = np.argsort(first_occurrence)
+    output = ArrayPairs(group_keys[emit_order], rows[emit_order])
+    return StructuredOutcome(output, len(mapped), max_input)
+
+
+def reduce_structured_shard(
+    task: Tuple[StructuredReducer, np.ndarray, np.ndarray, np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Group+reduce one shard; runs inside a pool worker (or in-process).
+
+    ``task`` is ``(reducer, keys, values, global_indices)``; the returned
+    first-occurrence indices are global so the driver can interleave groups
+    from all shards back into first-occurrence order.
+    """
+    reducer, keys, values, global_indices = task
+    return _segment_groups(keys, values, reducer, global_indices)
+
+
+def outcome_from_round(outcome) -> StructuredOutcome:
+    """Convert a classic :class:`RoundOutcome` (pair list) back to arrays.
+
+    Used by the callable escape hatch: every backend runs the wrapped
+    callable through its own classic shuffle (producing identical pair
+    lists), so converting with plain ``np.asarray`` inference yields
+    identical arrays on every backend.
+    """
+    if not outcome.output:
+        return StructuredOutcome(
+            ArrayPairs(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)),
+            outcome.pairs_shuffled,
+            outcome.max_reducer_input,
+        )
+    keys, values = zip(*outcome.output)
+    return StructuredOutcome(
+        ArrayPairs(np.asarray(keys), np.asarray(values)),
+        outcome.pairs_shuffled,
+        outcome.max_reducer_input,
+    )
+
+
+def merge_shard_groups(
+    mapped: ArrayPairs,
+    reducer: StructuredReducer,
+    results: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray, int]],
+) -> StructuredOutcome:
+    """Merge per-shard groups back into global first-occurrence order."""
+    max_input = max((result[3] for result in results), default=0)
+    if not results:
+        outcome = _empty_outcome(mapped, reducer)
+        return StructuredOutcome(outcome.output, len(mapped), max_input)
+    first = np.concatenate([result[0] for result in results])
+    keys = np.concatenate([result[1] for result in results])
+    rows = np.concatenate([result[2] for result in results])
+    if first.size == 0:
+        outcome = _empty_outcome(mapped, reducer)
+        return StructuredOutcome(outcome.output, len(mapped), max_input)
+    # First-occurrence indices are distinct, so an unstable sort suffices.
+    emit_order = np.argsort(first)
+    return StructuredOutcome(ArrayPairs(keys[emit_order], rows[emit_order]), len(mapped), max_input)

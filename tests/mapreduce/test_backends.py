@@ -153,6 +153,100 @@ def test_sorted_outputs_identical_on_large_random_workload():
 
 
 # ---------------------------------------------------------------------- #
+# Randomized cross-backend equivalence sweep
+# ---------------------------------------------------------------------- #
+def _random_workload(rng):
+    """One random workload: (pairs-or-ArrayPairs, structured-reducer-name-or-None).
+
+    Samples the whole space the backends must agree on: mixed int/str/tuple
+    keys, float keys with and without NaN, empty batches, single-key batches,
+    flattened tuples vs unflattened ArrayPairs, and — for numeric array
+    batches — a structured reducer paired with its callable reference.
+    """
+    family = rng.choice(
+        ["int", "str", "tuple", "mixed", "float", "nan-float", "single-key", "empty"]
+    )
+    size = int(rng.integers(1, 200))
+    values = rng.integers(-50, 50, size=size)
+    if family == "empty":
+        return ([], None) if rng.random() < 0.5 else (ArrayPairs(np.zeros(0, np.int64), np.zeros(0, np.int64)), "sum")
+    if family == "int":
+        keys = rng.integers(-10, 25, size=size)
+        if rng.random() < 0.5:
+            return ArrayPairs(keys, values), str(rng.choice(["min", "max", "sum", "count", "first"]))
+        return list(zip(keys.tolist(), values.tolist())), None
+    if family == "single-key":
+        keys = np.full(size, int(rng.integers(0, 5)))
+        if rng.random() < 0.5:
+            return ArrayPairs(keys, values), str(rng.choice(["min", "sum", "count"]))
+        return list(zip(keys.tolist(), values.tolist())), None
+    if family == "str":
+        words = ["alpha", "beta", "gamma", "d", "ee"]
+        return [(words[int(k) % len(words)], int(v)) for k, v in zip(rng.integers(0, 9, size), values)], None
+    if family == "tuple":
+        return [((int(k) % 3, int(k) % 4), int(v)) for k, v in zip(rng.integers(0, 24, size), values)], None
+    if family == "mixed":
+        pool = [None, "x", 3, (1, 2), "3", b"x", True, 0]
+        return [(pool[int(k) % len(pool)], int(v)) for k, v in zip(rng.integers(0, 64, size), values)], None
+    # float / nan-float
+    keys = rng.uniform(-3, 3, size).round(1)
+    if family == "nan-float":
+        keys[rng.random(size) < 0.2] = np.nan
+    return list(zip(keys.tolist(), values.tolist())), None
+
+
+def _pairs_equal(left, right):
+    """Pair-list equality treating scalar NaN keys/values as equal."""
+    if len(left) != len(right):
+        return False
+    for (lk, lv), (rk, rv) in zip(left, right):
+        for a, b in ((lk, rk), (lv, rv)):
+            if isinstance(a, float) and isinstance(b, float) and np.isnan(a) and np.isnan(b):
+                continue
+            if type(a) is not type(b) or a != b:
+                return False
+    return True
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_cross_backend_sweep(seed):
+    """Any workload, any backend: identical output order and identical metrics.
+
+    When the workload pairs a structured reducer with an ArrayPairs batch,
+    the structured round (segment reductions on vectorized, array shards on
+    process) is additionally checked against the classic round running the
+    reducer's callable reference — same pairs, same counters.
+    """
+    rng = np.random.default_rng(1000 + seed)
+    for _ in range(8):
+        workload, structured_name = _random_workload(rng)
+        outputs = {}
+        metrics = {}
+        for name in BACKENDS:
+            engine = MREngine(backend=name, num_shards=3)
+            if structured_name is not None:
+                out = engine.run_structured_round(workload, structured_name).to_pairs()
+            else:
+                out = engine.run_round(workload, sum_reducer)
+            outputs[name] = out
+            metrics[name] = engine.metrics.as_dict()
+            engine.close()
+        for name in BACKENDS:
+            assert _pairs_equal(outputs[name], outputs["serial"]), (name, structured_name)
+            assert metrics[name] == metrics["serial"], (name, structured_name)
+        if structured_name is not None and isinstance(workload, ArrayPairs):
+            # Structured fast path vs the per-key callable reference.
+            from repro.mapreduce.structured import get_structured_reducer
+
+            reference_engine = MREngine(backend="serial")
+            reference = reference_engine.run_round(
+                workload, get_structured_reducer(structured_name).reference
+            )
+            assert _pairs_equal(outputs["serial"], reference)
+            assert metrics["serial"] == reference_engine.metrics.as_dict()
+
+
+# ---------------------------------------------------------------------- #
 # ArrayPairs (unflattened) fast path
 # ---------------------------------------------------------------------- #
 def test_array_pairs_identical_across_backends():

@@ -1,0 +1,418 @@
+"""Structured-round suite: registry, segment reducers, cross-backend equality.
+
+Structured rounds must be bit-compatible with the serial tuple path: for any
+workload and any registered reducer, every backend returns the same output
+arrays (same dtype, same first-occurrence order) and meters the same
+:class:`MRMetrics`.  These tests enforce that, plus the registry contract,
+the :class:`ArrayMapper` protocol, the callable escape hatch, the persistent
+process pool, and the driver-level equivalence of the ported MR consumers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bfs_diameter import mr_bfs_diameter
+from repro.baselines.hadi import hadi_diameter
+from repro.core.mr_native import mr_cluster_native
+from repro.generators import barabasi_albert_graph, mesh_graph
+from repro.mapreduce.backends import ArrayPairs, ProcessBackend, VectorizedBackend
+from repro.mapreduce.engine import MREngine
+from repro.mapreduce.structured import (
+    ArrayMapper,
+    CallableReducer,
+    StructuredReducer,
+    available_structured_reducers,
+    get_structured_reducer,
+    grouping_order,
+    register_structured_reducer,
+    resolve_structured_reducer,
+)
+
+BACKENDS = ("serial", "vectorized", "process")
+
+
+def run_structured_on_all(batch, reducer, *, mapper=None, num_shards=3):
+    """One structured round per backend; returns {name: (keys, values, dtypes, metrics)}."""
+    results = {}
+    for name in BACKENDS:
+        with MREngine(backend=name, num_shards=num_shards) as engine:
+            out = engine.run_structured_round(batch, reducer, mapper=mapper)
+            results[name] = (
+                out.keys.tolist(),
+                out.values.tolist(),
+                (str(out.keys.dtype), str(out.values.dtype)),
+                engine.metrics.as_dict(),
+            )
+    return results
+
+
+def assert_structured_identical(results):
+    reference = results["serial"]
+    for name, result in results.items():
+        assert result == reference, f"{name} structured round differs from serial"
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+def test_builtin_reducers_registered():
+    names = available_structured_reducers()
+    for name in ("min", "max", "sum", "count", "first", "argmin", "bitwise_or"):
+        assert name in names
+    # Registered by repro.core.mr_native on import (custom-reducer extension).
+    assert "cluster-claim" in names
+
+
+def test_registry_rejects_duplicates_and_unknown_names():
+    class Dummy(StructuredReducer):
+        name = "min"  # collides with the builtin
+
+        def segment_reduce(self, sorted_values, starts, ends):
+            return sorted_values[starts], None
+
+        def reference(self, key, values):
+            yield (key, values[0])
+
+    with pytest.raises(ValueError):
+        register_structured_reducer(Dummy())
+    with pytest.raises(ValueError):
+        get_structured_reducer("not-a-reducer")
+    with pytest.raises(TypeError):
+        register_structured_reducer(object())  # type: ignore[arg-type]
+
+
+def test_resolve_structured_reducer():
+    assert resolve_structured_reducer("sum").name == "sum"
+    instance = get_structured_reducer("min")
+    assert resolve_structured_reducer(instance) is instance
+    wrapped = resolve_structured_reducer(lambda k, vs: [(k, len(vs))])
+    assert isinstance(wrapped, CallableReducer)
+    with pytest.raises(TypeError):
+        resolve_structured_reducer(123)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------- #
+# Built-in segment reducers, cross-backend
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ["min", "max", "sum", "count", "first"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_scalar_reducers_identical_across_backends(name, seed):
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, 500))
+    batch = ArrayPairs(
+        rng.integers(-20, 40, size=size), rng.integers(-1000, 1000, size=size)
+    )
+    results = run_structured_on_all(batch, name)
+    assert_structured_identical(results)
+    assert results["serial"][3]["shuffled_pairs"] == size
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_argmin_composite_rows_identical(seed):
+    rng = np.random.default_rng(10 + seed)
+    size = int(rng.integers(1, 400))
+    rows = np.column_stack(
+        [rng.integers(0, 4, size), rng.integers(0, 6, size), rng.integers(0, 9, size)]
+    )
+    batch = ArrayPairs(rng.integers(0, 30, size), rows)
+    results = run_structured_on_all(batch, "argmin")
+    assert_structured_identical(results)
+
+
+def test_argmin_matches_python_min_semantics():
+    # Lexicographic row minimum with ties resolved by arrival order.
+    batch = ArrayPairs(
+        np.array([5, 5, 5, 9]),
+        np.array([[2, 7], [1, 9], [1, 3], [0, 0]]),
+    )
+    with MREngine(backend="vectorized") as engine:
+        out = engine.run_structured_round(batch, "argmin")
+    assert out.keys.tolist() == [5, 9]
+    assert out.values.tolist() == [[1, 3], [0, 0]]
+
+
+def test_bitwise_or_sketch_rows_identical():
+    rng = np.random.default_rng(3)
+    sketches = rng.integers(0, 2**60, size=(300, 4), dtype=np.uint64)
+    batch = ArrayPairs(rng.integers(0, 25, 300), sketches)
+    results = run_structured_on_all(batch, "bitwise_or")
+    assert_structured_identical(results)
+    assert results["serial"][2][1] == "uint64"
+
+
+def test_bitwise_or_scalar_values_identical():
+    rng = np.random.default_rng(4)
+    batch = ArrayPairs(rng.integers(0, 10, 200), rng.integers(0, 2**30, 200))
+    results = run_structured_on_all(batch, "bitwise_or")
+    assert_structured_identical(results)
+
+
+def test_emit_mask_reducer_identical():
+    # cluster-claim drops covered groups: exercises the emit-mask path.
+    rng = np.random.default_rng(5)
+    size = 400
+    tags = rng.integers(0, 2, size)
+    cluster_ids = np.where(tags == 0, rng.integers(-1, 3, size), rng.integers(0, 5, size))
+    dists = rng.integers(0, 7, size)
+    batch = ArrayPairs(rng.integers(0, 40, size), np.column_stack([tags, cluster_ids, dists]))
+    results = run_structured_on_all(batch, "cluster-claim")
+    assert_structured_identical(results)
+
+
+def test_empty_and_single_key_batches():
+    empty = ArrayPairs(np.zeros(0, dtype=np.int64), np.zeros((0, 2), dtype=np.int64))
+    results = run_structured_on_all(empty, "first")
+    assert_structured_identical(results)
+    assert results["serial"][3]["rounds"] == 1
+    assert results["serial"][3]["shuffled_pairs"] == 0
+
+    single = ArrayPairs(np.full(64, 7, dtype=np.int64), np.arange(64, dtype=np.int64))
+    results = run_structured_on_all(single, "sum")
+    assert_structured_identical(results)
+    assert results["serial"][0] == [7]
+    assert results["serial"][3]["max_reducer_input"] == 64
+
+
+def test_values_ndim_validation_identical_on_all_backends():
+    batch = ArrayPairs(np.array([0, 1]), np.array([[1, 2], [3, 4]]))
+    for name in BACKENDS:
+        with MREngine(backend=name, num_shards=2) as engine:
+            with pytest.raises(ValueError):
+                engine.run_structured_round(batch, "min")
+
+
+def test_structured_output_matches_classic_reference_round():
+    """Structured output flattened == classic round with the reference callable."""
+    rng = np.random.default_rng(6)
+    batch = ArrayPairs(rng.integers(0, 30, 500), rng.integers(0, 100, 500))
+    for name in ("min", "max", "sum", "count", "first"):
+        reducer = get_structured_reducer(name)
+        engine_structured = MREngine(backend="vectorized")
+        engine_classic = MREngine(backend="serial")
+        structured = engine_structured.run_structured_round(batch, reducer)
+        classic = engine_classic.run_round(batch, reducer.reference)
+        assert structured.to_pairs() == classic, name
+        assert engine_structured.metrics.as_dict() == engine_classic.metrics.as_dict(), name
+
+
+def test_callable_escape_hatch_identical_across_backends():
+    def median_reducer(key, values):
+        yield (key, sorted(values)[len(values) // 2])
+
+    rng = np.random.default_rng(7)
+    batch = ArrayPairs(rng.integers(0, 12, 300), rng.integers(0, 50, 300))
+    results = run_structured_on_all(batch, median_reducer)
+    assert_structured_identical(results)
+
+
+def test_string_keys_and_nan_float_keys_fall_back_identically():
+    rng = np.random.default_rng(8)
+    words = np.array(["a", "bb", "ccc", "a", "bb"] * 40)
+    batch = ArrayPairs(words, rng.integers(0, 9, words.size))
+    results = run_structured_on_all(batch, "sum")
+    assert_structured_identical(results)
+
+    keys = rng.uniform(0, 4, 50).round(1)
+    keys[::7] = np.nan  # NaN defeats argsort grouping: reference fallback
+    nan_batch = ArrayPairs(keys, rng.integers(0, 9, 50))
+    results = run_structured_on_all(nan_batch, "count")
+    for name, result in results.items():
+        assert result[1] == results["serial"][1], name
+        assert result[3] == results["serial"][3], name
+
+
+# ---------------------------------------------------------------------- #
+# ArrayMapper protocol
+# ---------------------------------------------------------------------- #
+def test_array_mapper_object_and_callable():
+    class Doubler(ArrayMapper):
+        def map_batch(self, batch):
+            return ArrayPairs(
+                np.concatenate([batch.keys, batch.keys]),
+                np.concatenate([batch.values, batch.values * 2]),
+            )
+
+    batch = ArrayPairs(np.array([0, 1, 0]), np.array([1, 2, 3]))
+    with MREngine(backend="vectorized") as engine:
+        out = engine.run_structured_round(batch, "sum", mapper=Doubler())
+    assert out.to_pairs() == [(0, 12), (1, 6)]
+    assert engine.metrics.shuffled_pairs == 6
+
+    with MREngine(backend="serial") as engine:
+        out = engine.run_structured_round(
+            batch, "sum", mapper=lambda b: ArrayPairs(b.keys, b.values + 1)
+        )
+    assert out.to_pairs() == [(0, 6), (1, 3)]
+
+
+# ---------------------------------------------------------------------- #
+# grouping_order fast paths
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "keys",
+    [
+        np.zeros(0, dtype=np.int64),
+        np.array([4], dtype=np.int64),
+        np.random.default_rng(0).integers(0, 50, 1000),  # 16-bit radix path
+        np.random.default_rng(1).integers(-40, 40, 500),  # negative, radix path
+        np.random.default_rng(2).integers(0, 2**40, 1000),  # pack-sort path
+        np.random.default_rng(3).integers(-(2**40), 2**40, 700),  # wide + negative
+        np.array(["b", "a", "b", "c"] * 10),  # non-integer fallback
+    ],
+)
+def test_grouping_order_matches_stable_argsort(keys):
+    expected = np.argsort(keys, kind="stable")
+    assert np.array_equal(grouping_order(keys), expected)
+
+
+# ---------------------------------------------------------------------- #
+# Persistent process pool (reused across rounds, closed on teardown)
+# ---------------------------------------------------------------------- #
+def test_process_pool_reused_across_rounds_and_closed():
+    backend = ProcessBackend(num_shards=2)
+    engine = MREngine(backend=backend)
+    batch = ArrayPairs(np.arange(200) % 17, np.arange(200))
+    engine.run_structured_round(batch, "sum")
+    pool_after_first = backend._pool
+    assert pool_after_first is not None, "structured round should fork the pool"
+    engine.run_structured_round(batch, "sum")
+    engine.run_round(batch, get_structured_reducer("sum").reference)
+    assert backend._pool is pool_after_first, "pool must be reused across rounds"
+    engine.close()
+    assert backend._pool is None
+    # Closed backends lazily re-create the pool when used again.
+    out = engine.run_structured_round(batch, "count")
+    assert len(out) == 17
+    engine.close()
+
+
+def test_engine_context_manager_closes_pool():
+    with MREngine(backend="process", num_shards=2) as engine:
+        engine.run_structured_round(ArrayPairs(np.arange(50) % 5, np.arange(50)), "max")
+        backend = engine.backend
+        assert backend._pool is not None
+    assert backend._pool is None
+
+
+def test_closure_reducers_still_work_on_process_backend():
+    # Non-picklable closures take the per-round fork-inheritance path.
+    offset = 13
+
+    def closure_reducer(key, values):
+        yield (key, sum(values) + offset)
+
+    batch = ArrayPairs(np.arange(120) % 7, np.arange(120))
+    with MREngine(backend="process", num_shards=3) as engine:
+        out = engine.run_round(batch, closure_reducer)
+    with MREngine(backend="serial") as reference:
+        assert out == reference.run_round(batch, closure_reducer)
+
+
+# ---------------------------------------------------------------------- #
+# Float keys on the classic argsort fast path (NaN-free only)
+# ---------------------------------------------------------------------- #
+def test_float_keys_take_argsort_fast_path():
+    keys = [1.5, 2.5, 1.5, -0.0, 0.0]
+    assert VectorizedBackend._as_key_array(keys) is not None
+    assert VectorizedBackend._as_key_array([1.5, float("nan")]) is None
+    # Large ints silently coerced to float64 must not take the fast path.
+    assert VectorizedBackend._as_key_array([2**60, 2**60 + 1, 0.5]) is None
+
+
+def test_float_key_workloads_identical_across_backends():
+    rng = np.random.default_rng(9)
+    keys = rng.uniform(-5, 5, 400).round(2)
+    pairs = list(zip(keys.tolist(), rng.integers(0, 50, 400).tolist()))
+    outputs = {}
+    for name in BACKENDS:
+        with MREngine(backend=name, num_shards=3) as engine:
+            out = engine.run_round(pairs, lambda k, vs: [(k, sum(vs))])
+            outputs[name] = (out, engine.metrics.as_dict())
+    for name, result in outputs.items():
+        assert result == outputs["serial"], name
+
+
+# ---------------------------------------------------------------------- #
+# Driver-level equivalence: the ported MR consumers
+# ---------------------------------------------------------------------- #
+def test_mr_bfs_diameter_identical_across_backends():
+    graph = mesh_graph(15, 15)
+    reference = None
+    for backend in BACKENDS:
+        result = mr_bfs_diameter(graph, seed=11, backend=backend, num_shards=2)
+        snapshot = (
+            result.estimate,
+            result.lower_bound,
+            result.upper_bound,
+            result.num_levels,
+            result.metrics.as_dict(),
+        )
+        if reference is None:
+            reference = snapshot
+        else:
+            assert snapshot == reference, backend
+    assert reference[4]["max_reducer_input"] > 0  # rounds are executed, not charged
+
+
+def test_hadi_sketch_round_matches_neighbor_reduce_kernel():
+    """The structured bitwise_or round == the independent in-memory kernel.
+
+    HADI's sketch propagation used to run :func:`repro.graph.kernels.neighbor_reduce`
+    directly; the kernel stays as the reference the MR round is pinned to.
+    """
+    from repro.graph import kernels
+
+    graph = barabasi_albert_graph(300, 4, seed=8)
+    rng = np.random.default_rng(0)
+    sketches = rng.integers(0, 2**60, size=(graph.num_nodes, 4), dtype=np.uint64)
+
+    nodes = np.arange(graph.num_nodes, dtype=np.int64)
+    owners = np.repeat(nodes, np.diff(graph.indptr))
+    batch = ArrayPairs(
+        np.concatenate((nodes, owners)),
+        np.concatenate((sketches, sketches[graph.indices])),
+    )
+    with MREngine(backend="vectorized") as engine:
+        merged = engine.run_structured_round(batch, "bitwise_or")
+
+    expected = sketches.copy()
+    has_neighbors, neighbor_or = kernels.neighbor_reduce(
+        graph.indptr, graph.indices, sketches, np.bitwise_or
+    )
+    expected[has_neighbors] |= neighbor_or
+    result = np.empty_like(sketches)
+    result[merged.keys] = merged.values
+    assert np.array_equal(result, expected)
+
+
+def test_hadi_identical_across_backends():
+    graph = barabasi_albert_graph(250, 3, seed=5)
+    reference = None
+    for backend in BACKENDS:
+        result = hadi_diameter(graph, seed=12, num_registers=8, backend=backend, num_shards=2)
+        snapshot = (result.estimate, result.neighborhood_function, result.metrics.as_dict())
+        if reference is None:
+            reference = snapshot
+        else:
+            assert snapshot == reference, backend
+
+
+def test_mr_cluster_native_structured_beats_nothing_but_matches():
+    # Bit-identical clustering and metrics across the tuple path (serial)
+    # and the segment paths — the structured-round acceptance invariant.
+    graph = barabasi_albert_graph(400, 4, seed=6)
+    reference = None
+    for backend in BACKENDS:
+        clustering, engine = mr_cluster_native(graph, 2, seed=13, backend=backend, num_shards=2)
+        snapshot = (
+            clustering.assignment.tolist(),
+            clustering.centers.tolist(),
+            clustering.distance.tolist(),
+            engine.metrics.as_dict(),
+        )
+        if reference is None:
+            reference = snapshot
+        else:
+            assert snapshot == reference, backend
