@@ -1,0 +1,87 @@
+"""Benchmarks of the declarative experiment suite (store, resume, parallel).
+
+Gates the two performance claims the suite subsystem makes:
+
+* **Resume beats recompute** — a second ``--resume`` run of a stored suite
+  selection computes zero cells and is substantially faster than the first
+  run (it is pure JSON loading plus key hashing).
+* **Cross-mode equivalence** — the parallel runner reproduces the serial
+  reference rows bit-for-bit (wall-clock ``t_*`` columns excluded), so the
+  speed knob never changes results.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke job) keeps the same
+assertions on the ``small`` dataset scale.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.datasets import clear_dataset_cache, configure_dataset_cache
+from repro.experiments.store import ArtifactStore
+from repro.experiments.suite import SuiteRunner, deterministic_view
+
+EXPERIMENTS = ["table1", "table2", "table3", "pipeline"]
+DATASETS = ["mesh", "roads-PA-like", "livejournal-like"]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_dataset_cache():
+    """Detach the disk layer afterwards: it points into a per-test tmp_path."""
+    configure_dataset_cache(None)
+    yield
+    configure_dataset_cache(None)
+
+
+def bench_scale() -> str:
+    if os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0"):
+        return "small"
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def _run(runner: SuiteRunner):
+    return runner.run(EXPERIMENTS, scale=bench_scale(), datasets=DATASETS, include_hadi=False)
+
+
+def test_resume_beats_recompute(tmp_path, benchmark):
+    store = ArtifactStore(tmp_path / "run")
+    start = time.perf_counter()
+    with SuiteRunner(store=store) as runner:
+        first = _run(runner)
+    compute_elapsed = time.perf_counter() - start
+    assert first.computed == len(first.outcomes)
+
+    clear_dataset_cache()
+
+    def resume_run():
+        with SuiteRunner(store=store, resume=True) as runner:
+            return _run(runner)
+
+    resumed = benchmark.pedantic(resume_run, rounds=1, iterations=1)
+    assert resumed.computed == 0, "resume must recompute zero cells"
+    assert resumed.cached == len(first.outcomes)
+    for name in EXPERIMENTS:
+        assert resumed.rows_for(name) == first.rows_for(name), name
+    resume_elapsed = benchmark.stats.stats.total
+    assert resume_elapsed < compute_elapsed, (
+        f"resume ({resume_elapsed:.3f}s) should beat recompute ({compute_elapsed:.3f}s)"
+    )
+
+
+def test_parallel_matches_serial(tmp_path, benchmark):
+    with SuiteRunner() as runner:
+        serial = _run(runner)
+    clear_dataset_cache()
+
+    def parallel_run():
+        with SuiteRunner(jobs=min(4, os.cpu_count() or 1)) as runner:
+            return _run(runner)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    for name in EXPERIMENTS:
+        assert deterministic_view(parallel.rows_for(name)) == deterministic_view(
+            serial.rows_for(name)
+        ), name

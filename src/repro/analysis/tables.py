@@ -3,6 +3,9 @@
 Every experiment driver returns a list of row dicts; this module renders them
 as aligned monospace tables (and optionally CSV) so that the benchmark output
 can be compared side by side with the paper's tables.
+:func:`render_stored_tables` renders straight from a suite
+:class:`~repro.experiments.store.ArtifactStore`, so every table can be
+regenerated from persisted artifacts without recomputation.
 """
 
 from __future__ import annotations
@@ -10,7 +13,7 @@ from __future__ import annotations
 import io
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["render_table", "render_csv", "format_value"]
+__all__ = ["render_table", "render_csv", "render_stored_tables", "format_value"]
 
 
 def format_value(value) -> str:
@@ -75,4 +78,41 @@ def render_csv(rows: Sequence[Dict], *, columns: Optional[Sequence[str]] = None)
     out.write(",".join(str(c) for c in columns) + "\n")
     for row in rows:
         out.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+    return out.getvalue()
+
+
+def render_stored_tables(
+    store,
+    *,
+    csv: bool = False,
+    titles: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render every experiment of a stored suite run from its artifacts.
+
+    ``store`` is an :class:`~repro.experiments.store.ArtifactStore` (accepted
+    duck-typed to keep this layer free of experiment imports).  The rows come
+    straight from the persisted cell JSONs in manifest (suite) order — no
+    cell is recomputed — so tables can be regenerated offline from any
+    ``--out`` directory.  Raises ``FileNotFoundError`` when the store has no
+    manifest and ``KeyError`` when a manifest-listed artifact is missing.
+    """
+    manifest = store.read_manifest()
+    titles = titles or {}
+    per_experiment: Dict[str, List[Dict]] = {}
+    for entry in manifest.get("cells", []):
+        experiment = entry["experiment"]
+        payload = store.load_cell(experiment, entry["key"])
+        if payload is None:
+            raise KeyError(
+                f"artifact {entry['key']!r} for cell {entry.get('cell_id')!r} "
+                f"is missing from the store; re-run the suite"
+            )
+        per_experiment.setdefault(experiment, []).extend(payload["rows"])
+    out = io.StringIO()
+    for experiment, rows in per_experiment.items():
+        if csv:
+            out.write(render_csv(rows))
+        else:
+            out.write(render_table(rows, title=titles.get(experiment, experiment)))
+            out.write(f"[{experiment}: {len(rows)} rows from stored artifacts]\n\n")
     return out.getvalue()

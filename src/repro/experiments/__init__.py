@@ -1,21 +1,67 @@
-"""Experiment harness regenerating every table and figure of the paper."""
+"""Experiment harness regenerating every table and figure of the paper.
 
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+The harness is organized as a declarative *suite*: every experiment
+decomposes into independent :class:`~repro.experiments.suite.ExperimentCell`
+units executed by a :class:`~repro.experiments.suite.SuiteRunner` (serially
+or over a process pool, bit-identically) and persisted through an
+:class:`~repro.experiments.store.ArtifactStore` for ``--resume`` and offline
+re-rendering.
+"""
+
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    dataset_rng,
+    granularity_for,
+)
 from repro.experiments.datasets import (
     DATASETS,
     DatasetSpec,
+    canonical_index,
+    clear_dataset_cache,
+    configure_dataset_cache,
+    dataset_cache,
     dataset_names,
     load_dataset,
     reference_diameter,
+)
+from repro.experiments.store import ArtifactStore, DatasetCache, to_jsonable
+from repro.experiments.suite import (
+    EXPERIMENTS,
+    CellOutcome,
+    ExperimentCell,
+    ExperimentDef,
+    SuiteRequest,
+    SuiteResult,
+    SuiteRunner,
+    build_cells,
+    run_cell,
 )
 
 __all__ = [
     "DEFAULT_CONFIG",
     "ExperimentConfig",
+    "dataset_rng",
     "granularity_for",
     "DATASETS",
     "DatasetSpec",
+    "canonical_index",
     "dataset_names",
     "load_dataset",
     "reference_diameter",
+    "dataset_cache",
+    "configure_dataset_cache",
+    "clear_dataset_cache",
+    "ArtifactStore",
+    "DatasetCache",
+    "to_jsonable",
+    "EXPERIMENTS",
+    "CellOutcome",
+    "ExperimentCell",
+    "ExperimentDef",
+    "SuiteRequest",
+    "SuiteResult",
+    "SuiteRunner",
+    "build_cells",
+    "run_cell",
 ]

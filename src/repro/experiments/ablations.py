@@ -34,20 +34,36 @@ from repro.core.cluster2 import cluster2
 from repro.core.diameter import estimate_diameter
 from repro.core.growth_engine import GrowthEngine, StaticSchedule
 from repro.core.kcenter import kcenter
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, dataset_rng, granularity_for
 from repro.experiments.datasets import dataset_names, load_dataset, reference_diameter
 from repro.generators.composite import expander_with_path
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+from repro.utils.rng import SeedLike, as_rng
 
 __all__ = [
     "single_batch_decomposition",
+    "batch_policy_row",
     "run_batch_policy_ablation",
     "run_tau_sweep",
+    "cluster_vs_cluster2_row",
     "run_cluster_vs_cluster2",
     "run_expander_path_example",
+    "kcenter_rows",
     "run_kcenter_comparison",
+    "CLUSTER2_DATASETS",
+    "KCENTER_DATASETS",
 ]
+
+# Seed offsets of the individual ablation parts (added to ``config.seed``).
+BATCH_POLICY_OFFSET = 11
+TAU_SWEEP_OFFSET = 12
+CLUSTER2_OFFSET = 13
+EXPANDER_OFFSET = 14
+KCENTER_OFFSET = 15
+
+# Default dataset selections of the dataset-restricted parts.
+CLUSTER2_DATASETS = ("mesh", "roads-PA-like", "livejournal-like")
+KCENTER_DATASETS = ("mesh", "roads-CA-like", "livejournal-like")
 
 
 def single_batch_decomposition(graph: CSRGraph, num_centers: int, *, seed: SeedLike = None):
@@ -66,6 +82,33 @@ def single_batch_decomposition(graph: CSRGraph, num_centers: int, *, seed: SeedL
     return engine.to_clustering(algorithm="single-batch")
 
 
+def batch_policy_row(
+    name: str,
+    *,
+    scale: str = "default",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rng=None,
+) -> Dict:
+    """A1 for one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=BATCH_POLICY_OFFSET, config=config)
+    graph = load_dataset(name, scale)
+    target = granularity_for(name, graph.num_nodes, config=config)
+    ours = cluster_with_target_clusters(graph, target, seed=rng)
+    single = single_batch_decomposition(graph, ours.num_clusters, seed=rng)
+    mpx = mpx_with_target_clusters(graph, ours.num_clusters, seed=rng)
+    return {
+        "dataset": name,
+        "target_clusters": target,
+        "cluster_nC": ours.num_clusters,
+        "cluster_r": ours.max_radius,
+        "single_batch_nC": single.num_clusters,
+        "single_batch_r": single.max_radius,
+        "mpx_nC": mpx.num_clusters,
+        "mpx_r": mpx.max_radius,
+    }
+
+
 def run_batch_policy_ablation(
     *,
     scale: str = "default",
@@ -74,26 +117,7 @@ def run_batch_policy_ablation(
 ) -> List[Dict]:
     """A1: CLUSTER vs single-batch vs MPX at matched granularity."""
     names = list(datasets) if datasets is not None else dataset_names()
-    rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 11, len(names))):
-        graph = load_dataset(name, scale)
-        target = granularity_for(name, graph.num_nodes, config=config)
-        ours = cluster_with_target_clusters(graph, target, seed=rng)
-        single = single_batch_decomposition(graph, ours.num_clusters, seed=rng)
-        mpx = mpx_with_target_clusters(graph, ours.num_clusters, seed=rng)
-        rows.append(
-            {
-                "dataset": name,
-                "target_clusters": target,
-                "cluster_nC": ours.num_clusters,
-                "cluster_r": ours.max_radius,
-                "single_batch_nC": single.num_clusters,
-                "single_batch_r": single.max_radius,
-                "mpx_nC": mpx.num_clusters,
-                "mpx_r": mpx.max_radius,
-            }
-        )
-    return rows
+    return [batch_policy_row(name, scale=scale, config=config) for name in names]
 
 
 def run_tau_sweep(
@@ -109,7 +133,7 @@ def run_tau_sweep(
     if taus is None:
         taus = [1, 2, 4, 8, 16, 32, 64]
     rows: List[Dict] = []
-    rng = as_rng(config.seed + 12)
+    rng = as_rng(config.seed + TAU_SWEEP_OFFSET)
     for tau in taus:
         result = cluster(graph, int(tau), seed=rng)
         # Lemma 1 predicts R_ALG = O(ceil(∆ / τ^(1/b)) log n) with b = 2 for the mesh.
@@ -127,6 +151,37 @@ def run_tau_sweep(
     return rows
 
 
+def cluster_vs_cluster2_row(
+    name: str,
+    *,
+    scale: str = "default",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rng=None,
+) -> Dict:
+    """A3 for one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=CLUSTER2_OFFSET, config=config)
+    graph = load_dataset(name, scale)
+    true_diameter = reference_diameter(name, scale)
+    tau = max(1, granularity_for(name, graph.num_nodes, config=config) // 8)
+    plain = cluster(graph, tau, seed=rng)
+    refined = cluster2(graph, tau, seed=rng, pilot=plain)
+    est_plain = estimate_diameter(graph, clustering=plain, weighted=True)
+    est_refined = estimate_diameter(graph, clustering=refined.clustering, weighted=True)
+    return {
+        "dataset": name,
+        "tau": tau,
+        "true_diameter": true_diameter,
+        "cluster_nC": plain.num_clusters,
+        "cluster_r": plain.max_radius,
+        "cluster_upper": round(est_plain.upper_bound, 1),
+        "cluster2_nC": refined.num_clusters,
+        "cluster2_r": refined.max_radius,
+        "cluster2_upper": round(est_refined.upper_bound, 1),
+        "cluster2_radius_bound": 2 * refined.r_alg * math.ceil(math.log2(max(2, graph.num_nodes))),
+    }
+
+
 def run_cluster_vs_cluster2(
     *,
     scale: str = "default",
@@ -134,31 +189,8 @@ def run_cluster_vs_cluster2(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict]:
     """A3: CLUSTER vs CLUSTER2 decomposition and diameter-bound quality."""
-    names = list(datasets) if datasets is not None else ["mesh", "roads-PA-like", "livejournal-like"]
-    rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 13, len(names))):
-        graph = load_dataset(name, scale)
-        true_diameter = reference_diameter(name, scale)
-        tau = max(1, granularity_for(name, graph.num_nodes, config=config) // 8)
-        plain = cluster(graph, tau, seed=rng)
-        refined = cluster2(graph, tau, seed=rng, pilot=plain)
-        est_plain = estimate_diameter(graph, clustering=plain, weighted=True)
-        est_refined = estimate_diameter(graph, clustering=refined.clustering, weighted=True)
-        rows.append(
-            {
-                "dataset": name,
-                "tau": tau,
-                "true_diameter": true_diameter,
-                "cluster_nC": plain.num_clusters,
-                "cluster_r": plain.max_radius,
-                "cluster_upper": round(est_plain.upper_bound, 1),
-                "cluster2_nC": refined.num_clusters,
-                "cluster2_r": refined.max_radius,
-                "cluster2_upper": round(est_refined.upper_bound, 1),
-                "cluster2_radius_bound": 2 * refined.r_alg * math.ceil(math.log2(max(2, graph.num_nodes))),
-            }
-        )
-    return rows
+    names = list(datasets) if datasets is not None else list(CLUSTER2_DATASETS)
+    return [cluster_vs_cluster2_row(name, scale=scale, config=config) for name in names]
 
 
 def run_expander_path_example(
@@ -168,7 +200,7 @@ def run_expander_path_example(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> Dict:
     """E6: the §3 expander+path example — CLUSTER(√n) radius ≪ diameter."""
-    rng = as_rng(config.seed + 14)
+    rng = as_rng(config.seed + EXPANDER_OFFSET)
     graph = expander_with_path(num_nodes, degree=degree, seed=rng)
     # The paper's example uses τ = √n; at laptop scale we divide by log n so the
     # 8 τ log n stopping threshold of Algorithm 1 stays well below n.
@@ -190,6 +222,38 @@ def run_expander_path_example(
     }
 
 
+def kcenter_rows(
+    name: str,
+    *,
+    scale: str = "default",
+    k_values: Optional[Sequence[int]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rng=None,
+) -> List[Dict]:
+    """A4 for one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=KCENTER_OFFSET, config=config)
+    graph = load_dataset(name, scale)
+    ks = list(k_values) if k_values is not None else [16, 64]
+    rows: List[Dict] = []
+    for k in ks:
+        ours = kcenter(graph, k, seed=rng)
+        greedy = gonzalez_kcenter(graph, k, seed=rng)
+        random_pick = random_centers_kcenter(graph, k, seed=rng)
+        rows.append(
+            {
+                "dataset": name,
+                "k": k,
+                "cluster_radius": ours.radius,
+                "cluster_centers_used": ours.k,
+                "gonzalez_radius": greedy.radius,
+                "random_radius": random_pick.radius,
+                "ratio_vs_gonzalez": round(ours.radius / max(1, greedy.radius), 2),
+            }
+        )
+    return rows
+
+
 def run_kcenter_comparison(
     *,
     scale: str = "default",
@@ -198,24 +262,8 @@ def run_kcenter_comparison(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict]:
     """A4: CLUSTER-based k-center vs Gonzalez vs random centers."""
-    names = list(datasets) if datasets is not None else ["mesh", "roads-CA-like", "livejournal-like"]
+    names = list(datasets) if datasets is not None else list(KCENTER_DATASETS)
     rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 15, len(names))):
-        graph = load_dataset(name, scale)
-        ks = list(k_values) if k_values is not None else [16, 64]
-        for k in ks:
-            ours = kcenter(graph, k, seed=rng)
-            greedy = gonzalez_kcenter(graph, k, seed=rng)
-            random_pick = random_centers_kcenter(graph, k, seed=rng)
-            rows.append(
-                {
-                    "dataset": name,
-                    "k": k,
-                    "cluster_radius": ours.radius,
-                    "cluster_centers_used": ours.k,
-                    "gonzalez_radius": greedy.radius,
-                    "random_radius": random_pick.radius,
-                    "ratio_vs_gonzalez": round(ours.radius / max(1, greedy.radius), 2),
-                }
-            )
+    for name in names:
+        rows.extend(kcenter_rows(name, scale=scale, k_values=k_values, config=config))
     return rows

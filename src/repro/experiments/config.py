@@ -20,13 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.experiments.datasets import DATASETS
+from repro.experiments.datasets import DATASETS, canonical_index
 from repro.mapreduce.cost import CostModel
+from repro.utils.rng import spawn_rngs
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep config import-light
+    import numpy as np
+
     from repro.core.pipeline import DecompositionPipeline
 
-__all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "granularity_for"]
+__all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "granularity_for", "dataset_rng"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,24 @@ class ExperimentConfig:
 
 
 DEFAULT_CONFIG = ExperimentConfig()
+
+
+def dataset_rng(
+    name: str, *, offset: int = 0, config: ExperimentConfig = DEFAULT_CONFIG
+) -> "np.random.Generator":
+    """Per-dataset RNG for an experiment driver.
+
+    Derived from ``config.seed + offset`` (one ``offset`` per experiment) and
+    the dataset's :func:`~repro.experiments.datasets.canonical_index`, so a
+    dataset's stream depends only on the experiment and the dataset itself —
+    never on which other datasets run in the same batch.  ``SeedSequence``
+    children are index-stable, which makes this identical to the historical
+    ``spawn_rngs(seed + offset, len(all_names))[i]`` derivation when the full
+    registry runs, while also making restricted runs and suite cells
+    reproduce the exact same per-dataset rows.
+    """
+    index = canonical_index(name)
+    return spawn_rngs(config.seed + offset, index + 1)[index]
 
 
 def granularity_for(

@@ -19,14 +19,23 @@ mesh1000           known doubling dim. b = 2   exact k×k mesh
 Two scales are provided: ``"default"`` (used by the benchmark harness) and
 ``"small"`` (used by the test-suite and for quick smoke runs).  All generators
 are seeded, so every experiment is reproducible bit-for-bit.
+
+Built graphs are memoized through a :class:`~repro.experiments.store.DatasetCache`
+— a bounded in-memory LRU with an optional ``.npz`` disk layer.  The cache is
+memory-only by default (set ``REPRO_DATASET_CACHE`` or call
+:func:`configure_dataset_cache` to add the disk layer); the suite runner
+points it at the artifact store's ``datasets/`` directory so one build is
+shared across runs and worker processes.  Tests use
+:func:`clear_dataset_cache` for isolation.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.experiments.store import DatasetCache
 from repro.generators import (
     barabasi_albert_graph,
     mesh_graph,
@@ -38,7 +47,17 @@ from repro.graph.csr import CSRGraph
 from repro.graph.traversal import double_sweep
 from repro.utils.rng import as_rng
 
-__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "load_dataset", "reference_diameter"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "canonical_index",
+    "load_dataset",
+    "reference_diameter",
+    "dataset_cache",
+    "configure_dataset_cache",
+    "clear_dataset_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +79,11 @@ class DatasetSpec:
     paper_row:
         The (nodes, edges, diameter) row of the paper's Table 1, for the
         side-by-side comparison in EXPERIMENTS.md.
+    dims:
+        Mapping scale → ``(rows, cols)`` for the grid-based generators
+        (road networks and the mesh); ``None`` for the social graphs.  For
+        the exact mesh this yields the analytic diameter
+        ``(rows - 1) + (cols - 1)``.
     """
 
     name: str
@@ -67,6 +91,7 @@ class DatasetSpec:
     regime: str
     builders: Dict[str, Callable[[], CSRGraph]]
     paper_row: Tuple[int, int, int]
+    dims: Optional[Dict[str, Tuple[int, int]]] = None
 
     def build(self, scale: str = "default") -> CSRGraph:
         if scale not in self.builders:
@@ -132,6 +157,7 @@ DATASETS: Dict[str, DatasetSpec] = {
             "small": _road(42, 42, seed=103),
         },
         paper_row=(1_965_206, 2_766_607, 849),
+        dims={"default": (120, 120), "small": (42, 42)},
     ),
     "roads-PA-like": DatasetSpec(
         name="roads-PA-like",
@@ -142,6 +168,7 @@ DATASETS: Dict[str, DatasetSpec] = {
             "small": _road(36, 36, seed=104),
         },
         paper_row=(1_088_092, 1_541_898, 786),
+        dims={"default": (95, 95), "small": (36, 36)},
     ),
     "roads-TX-like": DatasetSpec(
         name="roads-TX-like",
@@ -152,6 +179,7 @@ DATASETS: Dict[str, DatasetSpec] = {
             "small": _road(40, 38, seed=105),
         },
         paper_row=(1_379_917, 1_921_660, 1_054),
+        dims={"default": (110, 105), "small": (40, 38)},
     ),
     "mesh": DatasetSpec(
         name="mesh",
@@ -162,6 +190,7 @@ DATASETS: Dict[str, DatasetSpec] = {
             "small": _mesh(30, 30),
         },
         paper_row=(1_000_000, 1_998_000, 1_998),
+        dims={"default": (100, 100), "small": (30, 30)},
     ),
 }
 
@@ -175,35 +204,83 @@ def dataset_names(regime: Optional[str] = None) -> List[str]:
     ]
 
 
-@lru_cache(maxsize=32)
+def canonical_index(name: str) -> int:
+    """Stable position of ``name`` in the full registry order.
+
+    Per-dataset seeds are derived from this index, so a dataset's rows do not
+    depend on which *other* datasets are selected for a run — the property
+    that makes suite cells independent and cache keys subset-stable.
+    """
+    try:
+        return list(DATASETS).index(name)
+    except ValueError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from None
+
+
+# ---------------------------------------------------------------------- #
+# Cached loading
+# ---------------------------------------------------------------------- #
+_CACHE = DatasetCache(directory=os.environ.get("REPRO_DATASET_CACHE"))
+
+
+def dataset_cache() -> DatasetCache:
+    """The process-wide dataset cache behind :func:`load_dataset`."""
+    return _CACHE
+
+
+def configure_dataset_cache(
+    directory=None, *, memory_items: Optional[int] = None
+) -> DatasetCache:
+    """Replace the process-wide cache (e.g. to add or move the disk layer)."""
+    global _CACHE
+    _CACHE = DatasetCache(
+        directory=directory,
+        memory_items=memory_items if memory_items is not None else _CACHE.memory_items,
+    )
+    return _CACHE
+
+
+def clear_dataset_cache(*, disk: bool = False) -> None:
+    """Drop all cached graphs/diameters (tests call this for isolation)."""
+    _CACHE.clear(disk=disk)
+
+
 def load_dataset(name: str, scale: str = "default") -> CSRGraph:
     """Build (and memoize) a benchmark graph; always returns its largest component."""
     if name not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
-    graph = DATASETS[name].build(scale)
-    graph, _ = largest_component(graph)
-    return graph
+
+    def build() -> CSRGraph:
+        graph, _ = largest_component(DATASETS[name].build(scale))
+        return graph
+
+    return _CACHE.graph(name, scale, build)
 
 
-@lru_cache(maxsize=32)
 def reference_diameter(name: str, scale: str = "default", *, num_sweeps: int = 4) -> int:
     """Reference ("true") diameter of a benchmark graph.
 
-    Computed as the best lower bound over ``num_sweeps`` double sweeps from
-    random starts.  On road networks and meshes the double sweep is exact or
-    within a node or two of exact; the paper itself notes that its "true
-    diameter" column comes from approximate-but-accurate algorithms.  The
-    analytic value is used for the mesh.
+    For the exact mesh the analytic value ``(rows - 1) + (cols - 1)`` is
+    returned directly (the corner-to-corner distance of the grid).  All other
+    graphs use the best lower bound over ``num_sweeps`` double sweeps from
+    random starts; on road networks the double sweep is within a node or two
+    of exact, and the paper itself notes that its "true diameter" column comes
+    from approximate-but-accurate algorithms.
     """
-    graph = load_dataset(name, scale)
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
     spec = DATASETS[name]
-    if spec.regime == "mesh":
-        # Exact: a rows x cols mesh has diameter (rows - 1) + (cols - 1); the
-        # builder stores sizes implicitly, so recover it from n (square-ish).
-        pass  # fall through to sweeps, which are exact on meshes anyway
-    rng = as_rng(1234)
-    best = 0
-    for _ in range(num_sweeps):
-        lower, _, _ = double_sweep(graph, rng=rng)
-        best = max(best, lower)
-    return best
+    if spec.regime == "mesh" and spec.dims is not None and scale in spec.dims:
+        rows, cols = spec.dims[scale]
+        return (rows - 1) + (cols - 1)
+
+    def compute() -> int:
+        graph = load_dataset(name, scale)
+        rng = as_rng(1234)
+        best = 0
+        for _ in range(num_sweeps):
+            lower, _, _ = double_sweep(graph, rng=rng)
+            best = max(best, lower)
+        return best
+
+    return _CACHE.diameter(name, scale, num_sweeps, compute)

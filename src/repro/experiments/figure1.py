@@ -18,61 +18,80 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.bfs_diameter import mr_bfs_diameter
 from repro.core.mr_algorithms import mr_estimate_diameter
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, dataset_rng, granularity_for
 from repro.experiments.datasets import load_dataset, reference_diameter
 from repro.generators.composite import tail_family
-from repro.utils.rng import spawn_rngs
 
-__all__ = ["run_figure1"]
+__all__ = ["run_figure1", "figure1_rows", "SEED_OFFSET", "DEFAULT_DATASETS"]
 
-_DEFAULT_DATASETS = ("twitter-like", "livejournal-like")
+DEFAULT_DATASETS = ("twitter-like", "livejournal-like")
+_DEFAULT_DATASETS = DEFAULT_DATASETS  # backwards-compatible alias
+
+SEED_OFFSET = 5
+
+
+def figure1_rows(
+    name: str,
+    *,
+    scale: str = "default",
+    multipliers: Optional[Sequence[int]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rng=None,
+) -> List[Dict]:
+    """The Figure 1 series for one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=SEED_OFFSET, config=config)
+    if multipliers is None:
+        multipliers = config.tail_multipliers
+    base = load_dataset(name, scale)
+    base_diameter = max(1, reference_diameter(name, scale))
+    family = tail_family(base, base_diameter, multipliers=multipliers, seed=rng)
+    target = granularity_for(name, base.num_nodes, coarse=False, config=config)
+    rows: List[Dict] = []
+    for c, graph in sorted(family.items()):
+        ours = mr_estimate_diameter(
+            graph,
+            target_clusters=target,
+            seed=rng,
+            cost_model=config.cost_model,
+            backend=config.mr_backend,
+            num_shards=config.mr_shards,
+        )
+        bfs = mr_bfs_diameter(
+            graph,
+            seed=rng,
+            cost_model=config.cost_model,
+            backend=config.mr_backend,
+            num_shards=config.mr_shards,
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "tail_multiplier": c,
+                "nodes": graph.num_nodes,
+                "stretched_diameter_lower": bfs.lower_bound,
+                "cluster_rounds": ours.rounds,
+                "cluster_time": round(ours.simulated_time, 1),
+                "cluster_estimate": round(ours.estimate.upper_bound, 1),
+                "bfs_rounds": bfs.metrics.rounds,
+                "bfs_time": round(bfs.simulated_time, 1),
+                "bfs_estimate": bfs.estimate,
+            }
+        )
+    return rows
 
 
 def run_figure1(
     *,
     scale: str = "default",
-    datasets: Sequence[str] = _DEFAULT_DATASETS,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
     multipliers: Optional[Sequence[int]] = None,
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict]:
     """Compute the Figure 1 series (one row per dataset × tail multiplier)."""
-    names = list(datasets)
-    if multipliers is None:
-        multipliers = config.tail_multipliers
     rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 5, len(names))):
-        base = load_dataset(name, scale)
-        base_diameter = max(1, reference_diameter(name, scale))
-        family = tail_family(base, base_diameter, multipliers=multipliers, seed=rng)
-        target = granularity_for(name, base.num_nodes, coarse=False, config=config)
-        for c, graph in sorted(family.items()):
-            ours = mr_estimate_diameter(
-                graph,
-                target_clusters=target,
-                seed=rng,
-                cost_model=config.cost_model,
-                backend=config.mr_backend,
-                num_shards=config.mr_shards,
-            )
-            bfs = mr_bfs_diameter(
-                graph,
-                seed=rng,
-                cost_model=config.cost_model,
-                backend=config.mr_backend,
-                num_shards=config.mr_shards,
-            )
-            rows.append(
-                {
-                    "dataset": name,
-                    "tail_multiplier": c,
-                    "nodes": graph.num_nodes,
-                    "stretched_diameter_lower": bfs.lower_bound,
-                    "cluster_rounds": ours.rounds,
-                    "cluster_time": round(ours.simulated_time, 1),
-                    "cluster_estimate": round(ours.estimate.upper_bound, 1),
-                    "bfs_rounds": bfs.metrics.rounds,
-                    "bfs_time": round(bfs.simulated_time, 1),
-                    "bfs_estimate": bfs.estimate,
-                }
-            )
+    for name in datasets:
+        rows.extend(
+            figure1_rows(name, scale=scale, multipliers=multipliers, config=config)
+        )
     return rows

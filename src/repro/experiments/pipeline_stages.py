@@ -20,12 +20,40 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, dataset_rng, granularity_for
 from repro.experiments.datasets import dataset_names, load_dataset, reference_diameter
 from repro.generators import attach_weights
-from repro.utils.rng import spawn_rngs
 
-__all__ = ["run_pipeline"]
+__all__ = ["run_pipeline", "pipeline_row", "SEED_OFFSET"]
+
+SEED_OFFSET = 23
+
+
+def pipeline_row(
+    name: str,
+    *,
+    scale: str = "default",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rng=None,
+) -> Dict:
+    """One end-to-end pipeline run on one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=SEED_OFFSET, config=config)
+    graph = load_dataset(name, scale)
+    if config.decomposition_method == "weighted":
+        graph = attach_weights(graph, "uniform", seed=rng)
+    target = granularity_for(name, graph.num_nodes, config=config)
+    pipeline = config.pipeline(graph, target_clusters=target, seed=rng)
+    result = pipeline.run()
+    report = pipeline.mr_report(cost_model=config.cost_model)
+    return {
+        "dataset": name,
+        "diameter": reference_diameter(name, scale),
+        **result.summary(),
+        "mr_rounds": report.rounds,
+        "shuffled_pairs": report.shuffled_pairs,
+        "sim_time_s": round(report.simulated_time, 1),
+    }
 
 
 def run_pipeline(
@@ -36,23 +64,4 @@ def run_pipeline(
 ) -> List[Dict]:
     """One pipeline run per dataset; returns one row per run."""
     names = list(datasets) if datasets is not None else dataset_names()
-    rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 23, len(names))):
-        graph = load_dataset(name, scale)
-        if config.decomposition_method == "weighted":
-            graph = attach_weights(graph, "uniform", seed=rng)
-        target = granularity_for(name, graph.num_nodes, config=config)
-        pipeline = config.pipeline(graph, target_clusters=target, seed=rng)
-        result = pipeline.run()
-        report = pipeline.mr_report(cost_model=config.cost_model)
-        rows.append(
-            {
-                "dataset": name,
-                "diameter": reference_diameter(name, scale),
-                **result.summary(),
-                "mr_rounds": report.rounds,
-                "shuffled_pairs": report.shuffled_pairs,
-                "sim_time_s": round(report.simulated_time, 1),
-            }
-        )
-    return rows
+    return [pipeline_row(name, scale=scale, config=config) for name in names]

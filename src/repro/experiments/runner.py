@@ -1,16 +1,25 @@
 """Command-line entry point regenerating every table and figure of the paper.
 
+A thin CLI over the declarative suite (:mod:`repro.experiments.suite`).
 Usage (after installing the package)::
 
     python -m repro.experiments table1
     python -m repro.experiments table2 --scale small
     python -m repro.experiments table4 --no-hadi --datasets mesh roads-CA-like
     python -m repro.experiments figure1 --csv
-    python -m repro.experiments all --scale small
+    python -m repro.experiments suite --scale small --jobs 4 --out results
+    python -m repro.experiments suite --resume --out results   # only new/changed cells
+    python -m repro.experiments report --out results           # re-render, no recompute
 
-Every experiment prints an aligned text table (or CSV with ``--csv``) whose
-columns mirror the corresponding artifact in the paper; EXPERIMENTS.md records
-a captured run side by side with the published numbers.
+Every experiment decomposes into independent cells (experiment × dataset ×
+params) executed serially by default or in parallel with ``--jobs N``
+(bit-identical rows either way).  With ``--out DIR`` an artifact store
+persists per-cell JSON results plus a run manifest; ``--resume`` serves
+unchanged cells from the store, and ``report`` regenerates the tables purely
+from stored artifacts.  Output is an aligned text table (or CSV with
+``--csv``) whose columns mirror the corresponding artifact in the paper;
+EXPERIMENTS.md records a captured run side by side with the published
+numbers.
 """
 
 from __future__ import annotations
@@ -18,16 +27,18 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.tables import render_csv, render_table
-from repro.experiments import ablations, figure1, pipeline_stages, table1, table2, table3, table4
+from repro.analysis.tables import render_csv, render_stored_tables, render_table
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.store import ArtifactStore
+from repro.experiments.suite import EXPERIMENTS, SuiteRunner
 from repro.mapreduce.backends import available_backends
 from repro.utils.logging import enable_verbose
 
-__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+__all__ = ["main", "EXPERIMENTS", "run_experiment", "build_parser"]
+
+_TITLES = {name: definition.title for name, definition in EXPERIMENTS.items()}
 
 
 def _config_for(args) -> ExperimentConfig:
@@ -46,74 +57,18 @@ def _config_for(args) -> ExperimentConfig:
     return dataclasses.replace(DEFAULT_CONFIG, **overrides)
 
 
-def _run_table1(args) -> List[Dict]:
-    return table1.run_table1(scale=args.scale)
-
-
-def _run_table2(args) -> List[Dict]:
-    return table2.run_table2(scale=args.scale, datasets=args.datasets)
-
-
-def _run_table3(args) -> List[Dict]:
-    return table3.run_table3(scale=args.scale, datasets=args.datasets)
-
-
-def _run_table4(args) -> List[Dict]:
-    return table4.run_table4(
-        scale=args.scale,
-        datasets=args.datasets,
-        include_hadi=not args.no_hadi,
-        config=_config_for(args),
-    )
-
-
-def _run_figure1(args) -> List[Dict]:
-    datasets = args.datasets if args.datasets else ("twitter-like", "livejournal-like")
-    return figure1.run_figure1(scale=args.scale, datasets=datasets, config=_config_for(args))
-
-
-def _run_pipeline(args) -> List[Dict]:
-    return pipeline_stages.run_pipeline(
-        scale=args.scale, datasets=args.datasets, config=_config_for(args)
-    )
-
-
-def _run_ablations(args) -> List[Dict]:
-    rows: List[Dict] = []
-    rows.extend(ablations.run_batch_policy_ablation(scale=args.scale, datasets=args.datasets))
-    rows.extend(ablations.run_tau_sweep(scale=args.scale))
-    rows.extend(ablations.run_cluster_vs_cluster2(scale=args.scale))
-    rows.append(ablations.run_expander_path_example())
-    rows.extend(ablations.run_kcenter_comparison(scale=args.scale))
-    return rows
-
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "table3": _run_table3,
-    "table4": _run_table4,
-    "figure1": _run_figure1,
-    "pipeline": _run_pipeline,
-    "ablations": _run_ablations,
-}
-
-_TITLES = {
-    "table1": "Table 1 — benchmark graph characteristics (stand-ins; paper_* columns: original)",
-    "table2": "Table 2 — CLUSTER vs MPX decomposition quality",
-    "table3": "Table 3 — diameter approximation quality (coarser / finer clustering)",
-    "table4": "Table 4 — diameter estimation cost: CLUSTER vs BFS vs HADI (MR accounting)",
-    "figure1": "Figure 1 — cost vs tail length (CLUSTER flat, BFS linear)",
-    "pipeline": "Pipeline — decompose → quotient → diameter bounds, per-stage timings + MR cost",
-    "ablations": "Ablations — batch policy, tau sweep, CLUSTER2, expander+path, k-center",
-}
-
-
 def run_experiment(name: str, args) -> List[Dict]:
-    """Run a single named experiment and return its rows."""
+    """Run a single named experiment (serially, no store) and return its rows."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name](args)
+    with SuiteRunner(config=_config_for(args)) as runner:
+        result = runner.run(
+            [name],
+            scale=args.scale,
+            datasets=args.datasets,
+            include_hadi=not args.no_hadi,
+        )
+    return result.rows_for(name)
 
 
 def _positive_int(text: str) -> int:
@@ -130,8 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "suite", "report"],
+        help="which artifact to regenerate ('suite' = the full grid through "
+             "the cell runner; 'report' = re-render tables from a stored run)",
     )
     parser.add_argument("--scale", default="default", choices=["default", "small"],
                         help="dataset scale (small = quick smoke run)")
@@ -149,26 +105,79 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: serial; results are backend-independent)")
     parser.add_argument("--shards", type=_positive_int, default=None,
                         help="shard count for the process backend (default: CPU count)")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="execute cells over N worker processes "
+                             "(default: 1 = serial; rows are bit-identical either way)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="artifact store directory: persist per-cell JSON results, "
+                             "the run manifest, and the dataset cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="serve unchanged cells from the artifact store "
+                             "(requires --out); only new/changed cells recompute")
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a text table")
     parser.add_argument("--verbose", action="store_true", help="enable progress logging")
     return parser
 
 
+def _render(args, name: str, rows: List[Dict], summary: str) -> None:
+    if args.csv:
+        sys.stdout.write(render_csv(rows))
+    else:
+        sys.stdout.write(render_table(rows, title=_TITLES.get(name, name)))
+        sys.stdout.write(summary)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.verbose:
         enable_verbose()
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out DIR")
+    if args.experiment == "report":
+        if args.out is None:
+            parser.error("report requires --out DIR (a stored suite run)")
+        try:
+            sys.stdout.write(
+                render_stored_tables(ArtifactStore(args.out), csv=args.csv, titles=_TITLES)
+            )
+        except FileNotFoundError:
+            print(f"no manifest found under {args.out!r}; run the suite first", file=sys.stderr)
+            return 2
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment in ("all", "suite") else [args.experiment]
+    store = ArtifactStore(args.out) if args.out is not None else None
+    runner = SuiteRunner(
+        store=store, config=_config_for(args), jobs=args.jobs, resume=args.resume
+    )
+    try:
+        with runner:
+            result = runner.run(
+                names,
+                scale=args.scale,
+                datasets=args.datasets,
+                include_hadi=not args.no_hadi,
+            )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     for name in names:
-        start = time.perf_counter()
-        rows = run_experiment(name, args)
-        elapsed = time.perf_counter() - start
-        if args.csv:
-            sys.stdout.write(render_csv(rows))
-        else:
-            sys.stdout.write(render_table(rows, title=_TITLES.get(name, name)))
-            sys.stdout.write(f"[{name} computed in {elapsed:.1f}s]\n\n")
+        outcomes = result.outcomes_for(name)
+        computed = sum(1 for o in outcomes if o.status == "computed")
+        cached = len(outcomes) - computed
+        elapsed = sum(o.elapsed_s for o in outcomes if o.status == "computed")
+        summary = (
+            f"[{name}: {len(outcomes)} cells, {computed} computed, "
+            f"{cached} cached, {elapsed:.1f}s]\n\n"
+        )
+        _render(args, name, result.rows_for(name), summary)
+    if not args.csv and store is not None:
+        sys.stdout.write(
+            f"[suite manifest: {store.manifest_path} — "
+            f"{result.computed} computed, {result.cached} cached]\n"
+        )
     return 0
 
 

@@ -1,0 +1,588 @@
+"""Declarative experiment suite: cells, registry, and the parallel runner.
+
+The paper's evaluation (Sections 6–7) is a grid of *(experiment × dataset ×
+params)* measurements.  This module makes that grid explicit:
+
+* :class:`ExperimentCell` — one independent unit of work (e.g. "Table 2 on
+  ``mesh``"), content-hashed from its spec plus the full
+  :class:`~repro.experiments.config.ExperimentConfig` so any change to the
+  harness configuration invalidates exactly the affected artifacts.
+* ``EXPERIMENTS`` — the registry mapping experiment names to
+  :class:`ExperimentDef` entries: a cell *builder* (which cells exist for a
+  request) and a cell *runner* (module-level and picklable, so cells can be
+  shipped to worker processes).
+* :class:`SuiteRunner` — executes any selection of cells either serially (the
+  bit-compatibility reference) or in parallel over a persistent forked
+  process pool (the pool-lifecycle pattern of
+  :class:`~repro.mapreduce.backends.ProcessBackend`: forked lazily on first
+  use, reused across runs, released by ``close()`` / the context manager).
+  Cells derive every random stream from their own spec
+  (:func:`~repro.experiments.config.dataset_rng`), so parallel execution is
+  bit-identical to serial — ``pool.map`` order equals submission order and no
+  state is shared between cells.
+
+With an :class:`~repro.experiments.store.ArtifactStore` attached, every
+computed cell is persisted as machine-readable JSON and a run manifest is
+written; ``resume=True`` serves unchanged cells from the store and recomputes
+only edited/new ones (a changed config, scale, or cell spec changes the
+content key).  Every row returned by the suite is JSON-normalized, so cached
+and freshly computed results compare equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    ablations,
+    figure1,
+    pipeline_stages,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.datasets import DATASETS, dataset_cache, dataset_names
+from repro.experiments.store import ArtifactStore, to_jsonable
+
+__all__ = [
+    "ExperimentCell",
+    "ExperimentDef",
+    "SuiteRequest",
+    "SuiteRunner",
+    "SuiteResult",
+    "CellOutcome",
+    "EXPERIMENTS",
+    "build_cells",
+    "run_cell",
+    "deterministic_view",
+    "SUITE_SCHEMA",
+]
+
+SUITE_SCHEMA = 1
+
+# Row keys starting with this prefix are wall-clock measurements (pipeline
+# stage timings).  Everything else in a row is seed-deterministic and covered
+# by the serial/parallel/resume bit-identity guarantee; wall-clock columns are
+# reported as measured and excluded from that guarantee.
+WALL_CLOCK_PREFIX = "t_"
+
+
+def deterministic_view(rows: Sequence[Dict]) -> List[Dict]:
+    """Rows with wall-clock measurement columns removed.
+
+    This is the projection the cross-mode equivalence tests compare: every
+    remaining column is a pure function of the cell spec and config, so
+    serial, parallel, and resumed runs must agree on it bit-for-bit.
+    """
+    return [
+        {key: value for key, value in row.items() if not key.startswith(WALL_CLOCK_PREFIX)}
+        for row in rows
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Cells
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One independent unit of the evaluation grid.
+
+    ``params`` is a tuple of ``(key, value)`` pairs for axes beyond the
+    dataset (e.g. the ablation part, or whether Table 4 includes HADI); it
+    must be JSON-representable so the cell can be hashed and persisted.
+    """
+
+    experiment: str
+    dataset: Optional[str] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def cell_id(self) -> str:
+        parts = [self.experiment]
+        if self.dataset is not None:
+            parts.append(self.dataset)
+        parts.extend(f"{key}={value}" for key, value in self.params)
+        return "/".join(parts)
+
+    def param(self, key: str, default=None):
+        return dict(self.params).get(key, default)
+
+    def content_key(self, scale: str, config: ExperimentConfig) -> str:
+        """Content hash identifying this cell's result.
+
+        Covers the cell spec, the dataset scale, and the *entire* experiment
+        config (conservative: a knob irrelevant to this experiment still
+        invalidates the artifact — correctness over cache hits) plus the
+        suite schema version, bumped when result semantics change.
+        """
+        spec = {
+            "schema": SUITE_SCHEMA,
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "params": [[key, value] for key, value in self.params],
+            "scale": scale,
+            "config": dataclasses.asdict(config),
+        }
+        blob = json.dumps(to_jsonable(spec), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class SuiteRequest:
+    """What to run: scale, optional dataset restriction, and the config."""
+
+    scale: str = "default"
+    datasets: Optional[Tuple[str, ...]] = None
+    include_hadi: bool = True
+    config: ExperimentConfig = DEFAULT_CONFIG
+
+    def selected(self, default: Optional[Sequence[str]] = None) -> List[str]:
+        """The dataset names this request selects (intersection-preserving)."""
+        if self.datasets is not None:
+            return list(self.datasets)
+        return list(default) if default is not None else dataset_names()
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """Registry entry: how an experiment decomposes into cells and runs one."""
+
+    name: str
+    title: str
+    build_cells: Callable[[SuiteRequest], List[ExperimentCell]]
+    run_cell: Callable[[ExperimentCell, str, ExperimentConfig], List[Dict]]
+
+
+# ---------------------------------------------------------------------- #
+# Cell builders
+# ---------------------------------------------------------------------- #
+def _per_dataset_cells(experiment: str, request: SuiteRequest, default=None, params=()):
+    return [
+        ExperimentCell(experiment, name, tuple(params))
+        for name in request.selected(default)
+    ]
+
+
+def _table1_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    return _per_dataset_cells("table1", request)
+
+
+def _table2_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    return _per_dataset_cells("table2", request)
+
+
+def _table3_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    return _per_dataset_cells("table3", request)
+
+
+def _table4_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    return _per_dataset_cells(
+        "table4", request, params=(("hadi", bool(request.include_hadi)),)
+    )
+
+
+def _figure1_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    return _per_dataset_cells("figure1", request, default=figure1.DEFAULT_DATASETS)
+
+
+def _pipeline_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    return _per_dataset_cells("pipeline", request)
+
+
+def _ablations_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    """Ablations decompose into their parts (matching the legacy run order)."""
+    cells: List[ExperimentCell] = []
+
+    def part(name: str) -> Tuple[Tuple[str, str], ...]:
+        return (("part", name),)
+
+    for name in request.selected():
+        cells.append(ExperimentCell("ablations", name, part("batch_policy")))
+    if request.datasets is None or "mesh" in request.datasets:
+        cells.append(ExperimentCell("ablations", "mesh", part("tau_sweep")))
+    for name in request.selected(ablations.CLUSTER2_DATASETS):
+        cells.append(ExperimentCell("ablations", name, part("cluster2")))
+    cells.append(ExperimentCell("ablations", None, part("expander_path")))
+    for name in request.selected(ablations.KCENTER_DATASETS):
+        cells.append(ExperimentCell("ablations", name, part("kcenter")))
+    return cells
+
+
+# ---------------------------------------------------------------------- #
+# Cell runners (module-level, picklable; each returns a list of row dicts)
+# ---------------------------------------------------------------------- #
+def _run_table1_cell(cell, scale, config):
+    return [table1.table1_row(cell.dataset, scale=scale, config=config)]
+
+
+def _run_table2_cell(cell, scale, config):
+    return [table2.table2_row(cell.dataset, scale=scale, config=config)]
+
+
+def _run_table3_cell(cell, scale, config):
+    return [table3.table3_row(cell.dataset, scale=scale, config=config)]
+
+
+def _run_table4_cell(cell, scale, config):
+    include_hadi = bool(cell.param("hadi", True))
+    return [
+        table4.table4_row(cell.dataset, scale=scale, config=config, include_hadi=include_hadi)
+    ]
+
+
+def _run_figure1_cell(cell, scale, config):
+    return figure1.figure1_rows(cell.dataset, scale=scale, config=config)
+
+
+def _run_pipeline_cell(cell, scale, config):
+    return [pipeline_stages.pipeline_row(cell.dataset, scale=scale, config=config)]
+
+
+def _run_ablations_cell(cell, scale, config):
+    part = cell.param("part")
+    if part == "batch_policy":
+        return [ablations.batch_policy_row(cell.dataset, scale=scale, config=config)]
+    if part == "tau_sweep":
+        return ablations.run_tau_sweep(dataset=cell.dataset, scale=scale, config=config)
+    if part == "cluster2":
+        return [ablations.cluster_vs_cluster2_row(cell.dataset, scale=scale, config=config)]
+    if part == "expander_path":
+        return [ablations.run_expander_path_example(config=config)]
+    if part == "kcenter":
+        return ablations.kcenter_rows(cell.dataset, scale=scale, config=config)
+    raise KeyError(f"unknown ablation part {part!r}")
+
+
+EXPERIMENTS: Dict[str, ExperimentDef] = {
+    definition.name: definition
+    for definition in (
+        ExperimentDef(
+            "table1",
+            "Table 1 — benchmark graph characteristics (stand-ins; paper_* columns: original)",
+            _table1_cells,
+            _run_table1_cell,
+        ),
+        ExperimentDef(
+            "table2",
+            "Table 2 — CLUSTER vs MPX decomposition quality",
+            _table2_cells,
+            _run_table2_cell,
+        ),
+        ExperimentDef(
+            "table3",
+            "Table 3 — diameter approximation quality (coarser / finer clustering)",
+            _table3_cells,
+            _run_table3_cell,
+        ),
+        ExperimentDef(
+            "table4",
+            "Table 4 — diameter estimation cost: CLUSTER vs BFS vs HADI (MR accounting)",
+            _table4_cells,
+            _run_table4_cell,
+        ),
+        ExperimentDef(
+            "figure1",
+            "Figure 1 — cost vs tail length (CLUSTER flat, BFS linear)",
+            _figure1_cells,
+            _run_figure1_cell,
+        ),
+        ExperimentDef(
+            "pipeline",
+            "Pipeline — decompose → quotient → diameter bounds, per-stage timings + MR cost",
+            _pipeline_cells,
+            _run_pipeline_cell,
+        ),
+        ExperimentDef(
+            "ablations",
+            "Ablations — batch policy, tau sweep, CLUSTER2, expander+path, k-center",
+            _ablations_cells,
+            _run_ablations_cell,
+        ),
+    )
+}
+
+
+def build_cells(
+    experiments: Sequence[str], request: SuiteRequest
+) -> List[ExperimentCell]:
+    """All cells of the named experiments, in deterministic suite order."""
+    cells: List[ExperimentCell] = []
+    for name in experiments:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+            )
+        cells.extend(EXPERIMENTS[name].build_cells(request))
+    return cells
+
+
+def run_cell(
+    cell: ExperimentCell,
+    scale: str = "default",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[Dict]:
+    """Execute one cell and return its JSON-normalized rows."""
+    definition = EXPERIMENTS[cell.experiment]
+    return to_jsonable(definition.run_cell(cell, scale, config))
+
+
+def _execute_cell_task(task) -> Tuple[List[Dict], float]:
+    """Pool task: run one cell, returning ``(rows, elapsed_seconds)``."""
+    cell, scale, config = task
+    start = time.perf_counter()
+    rows = run_cell(cell, scale, config)
+    return rows, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------- #
+# Runner
+# ---------------------------------------------------------------------- #
+@dataclass
+class CellOutcome:
+    """One cell's result within a suite run."""
+
+    cell: ExperimentCell
+    key: str
+    status: str  # "computed" | "cached"
+    rows: List[Dict]
+    elapsed_s: float
+
+
+@dataclass
+class SuiteResult:
+    """All cell outcomes of one :meth:`SuiteRunner.run`, plus the manifest."""
+
+    outcomes: List[CellOutcome]
+    manifest: Dict
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "computed")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "cached")
+
+    def experiments(self) -> List[str]:
+        names: List[str] = []
+        for outcome in self.outcomes:
+            if outcome.cell.experiment not in names:
+                names.append(outcome.cell.experiment)
+        return names
+
+    def rows_for(self, experiment: str) -> List[Dict]:
+        """Concatenated rows of one experiment, in suite (cell) order."""
+        rows: List[Dict] = []
+        for outcome in self.outcomes:
+            if outcome.cell.experiment == experiment:
+                rows.extend(outcome.rows)
+        return rows
+
+    def outcomes_for(self, experiment: str) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.cell.experiment == experiment]
+
+
+class SuiteRunner:
+    """Executes suite cells serially or over a persistent forked worker pool.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.experiments.store.ArtifactStore`.  When set,
+        computed cells are persisted, a run manifest is written, and the
+        process-wide dataset cache gains the store's ``datasets/`` disk layer
+        (shared with forked workers).
+    config:
+        The :class:`~repro.experiments.config.ExperimentConfig` threaded into
+        every cell (and into every content key).
+    jobs:
+        Worker processes.  ``1`` (the default) runs serially in-process — the
+        bit-compatibility reference.  More than one uses a lazily forked
+        persistent pool, reused across :meth:`run` calls until :meth:`close`
+        (also via the context manager / garbage collection); platforms
+        without ``fork`` degrade to serial execution with identical results.
+    resume:
+        Serve cells whose content key already exists in the store instead of
+        recomputing them.  Requires ``store``.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ArtifactStore] = None,
+        config: ExperimentConfig = DEFAULT_CONFIG,
+        jobs: int = 1,
+        resume: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if resume and store is None:
+            raise ValueError("resume=True requires an artifact store")
+        self.store = store
+        self.config = config
+        self.jobs = int(jobs)
+        self.resume = bool(resume)
+        self._fork_available = "fork" in multiprocessing.get_all_start_methods()
+        self._pool = None
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle (the ProcessBackend pattern)
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            workers = min(self.jobs, os.cpu_count() or 1)
+            self._pool = context.Pool(processes=workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (re-created lazily if used again)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SuiteRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        experiments: Optional[Sequence[str]] = None,
+        *,
+        scale: str = "default",
+        datasets: Optional[Sequence[str]] = None,
+        include_hadi: bool = True,
+    ) -> SuiteResult:
+        """Execute the selected experiments' cells; returns all outcomes.
+
+        Raises ``KeyError`` for unknown experiment or dataset names.  The
+        outcome order (and therefore row order) is the deterministic suite
+        order, independent of ``jobs`` and of which cells were cached.
+        """
+        names = list(experiments) if experiments is not None else list(EXPERIMENTS)
+        if datasets is not None:
+            for dataset in datasets:
+                if dataset not in DATASETS:
+                    raise KeyError(
+                        f"unknown dataset {dataset!r}; available: {sorted(DATASETS)}"
+                    )
+        request = SuiteRequest(
+            scale=scale,
+            datasets=tuple(datasets) if datasets is not None else None,
+            include_hadi=include_hadi,
+            config=self.config,
+        )
+        cells = build_cells(names, request)
+
+        # Share built graphs across runs and workers through the store. The
+        # disk layer must be attached before the pool forks so workers
+        # inherit it; a cache the user pinned to an explicit directory
+        # (env var / configure_dataset_cache) is left alone, but a layer a
+        # previous runner attached is repointed at *this* run's store.
+        cache = dataset_cache()
+        if self.store is not None and not cache.pinned:
+            target = self.store.datasets_dir
+            if cache.directory != target:
+                cache.set_directory(target)
+
+        start = time.perf_counter()
+        outcomes: List[Optional[CellOutcome]] = []
+        pending: List[Tuple[int, ExperimentCell, str]] = []
+        for cell in cells:
+            key = cell.content_key(scale, self.config)
+            cached = (
+                self.store.load_cell(cell.experiment, key)
+                if (self.resume and self.store is not None)
+                else None
+            )
+            if cached is not None:
+                outcomes.append(
+                    CellOutcome(cell, key, "cached", cached["rows"], float(cached.get("elapsed_s", 0.0)))
+                )
+            else:
+                outcomes.append(None)
+                pending.append((len(outcomes) - 1, cell, key))
+
+        if pending:
+            tasks = [(cell, scale, self.config) for _, cell, _ in pending]
+            if self.jobs > 1 and self._fork_available and len(tasks) > 1:
+                results = self._ensure_pool().map(_execute_cell_task, tasks)
+            else:
+                results = [_execute_cell_task(task) for task in tasks]
+            for (index, cell, key), (rows, elapsed) in zip(pending, results):
+                outcomes[index] = CellOutcome(cell, key, "computed", rows, elapsed)
+                if self.store is not None:
+                    self.store.save_cell(
+                        cell.experiment,
+                        key,
+                        {
+                            "cell_id": cell.cell_id,
+                            "experiment": cell.experiment,
+                            "dataset": cell.dataset,
+                            "params": [[k, v] for k, v in cell.params],
+                            "scale": scale,
+                            "elapsed_s": round(elapsed, 4),
+                            "rows": rows,
+                        },
+                    )
+
+        final: List[CellOutcome] = [outcome for outcome in outcomes if outcome is not None]
+        manifest = self._manifest(final, request, names, time.perf_counter() - start)
+        if self.store is not None:
+            self.store.write_manifest(manifest)
+        return SuiteResult(final, manifest)
+
+    # ------------------------------------------------------------------ #
+    def _manifest(
+        self,
+        outcomes: List[CellOutcome],
+        request: SuiteRequest,
+        experiments: List[str],
+        total_elapsed: float,
+    ) -> Dict:
+        return {
+            "schema": SUITE_SCHEMA,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "scale": request.scale,
+            "datasets": list(request.datasets) if request.datasets is not None else None,
+            "include_hadi": request.include_hadi,
+            "experiments": list(experiments),
+            "jobs": self.jobs,
+            "resume": self.resume,
+            "config": dataclasses.asdict(self.config),
+            "computed": sum(1 for o in outcomes if o.status == "computed"),
+            "cached": sum(1 for o in outcomes if o.status == "cached"),
+            "total_elapsed_s": round(total_elapsed, 3),
+            "cells": [
+                {
+                    "cell_id": outcome.cell.cell_id,
+                    "experiment": outcome.cell.experiment,
+                    "dataset": outcome.cell.dataset,
+                    "params": [[k, v] for k, v in outcome.cell.params],
+                    "key": outcome.key,
+                    "status": outcome.status,
+                    "rows": len(outcome.rows),
+                    "elapsed_s": round(outcome.elapsed_s, 4),
+                }
+                for outcome in outcomes
+            ],
+        }

@@ -9,34 +9,40 @@ graphs).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.datasets import DATASETS, dataset_names, load_dataset, reference_diameter
 
-__all__ = ["run_table1"]
+__all__ = ["run_table1", "table1_row"]
+
+
+def table1_row(
+    name: str, *, scale: str = "default", config: ExperimentConfig = DEFAULT_CONFIG
+) -> Dict:
+    """The Table 1 row for one dataset (the per-cell unit of the suite)."""
+    spec = DATASETS[name]
+    graph = load_dataset(name, scale)
+    diameter = reference_diameter(name, scale)
+    paper_nodes, paper_edges, paper_diameter = spec.paper_row
+    return {
+        "dataset": name,
+        "regime": spec.regime,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "diameter": diameter,
+        "paper_nodes": paper_nodes,
+        "paper_edges": paper_edges,
+        "paper_diameter": paper_diameter,
+    }
 
 
 def run_table1(
-    *, scale: str = "default", config: ExperimentConfig = DEFAULT_CONFIG
+    *,
+    scale: str = "default",
+    datasets: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[Dict]:
     """Compute the Table 1 rows; returns a list of row dicts."""
-    rows: List[Dict] = []
-    for name in dataset_names():
-        spec = DATASETS[name]
-        graph = load_dataset(name, scale)
-        diameter = reference_diameter(name, scale)
-        paper_nodes, paper_edges, paper_diameter = spec.paper_row
-        rows.append(
-            {
-                "dataset": name,
-                "regime": spec.regime,
-                "nodes": graph.num_nodes,
-                "edges": graph.num_edges,
-                "diameter": diameter,
-                "paper_nodes": paper_nodes,
-                "paper_edges": paper_edges,
-                "paper_diameter": paper_diameter,
-            }
-        )
-    return rows
+    names = list(datasets) if datasets is not None else dataset_names()
+    return [table1_row(name, scale=scale, config=config) for name in names]

@@ -16,11 +16,36 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.diameter import estimate_diameter
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, dataset_rng, granularity_for
 from repro.experiments.datasets import dataset_names, load_dataset, reference_diameter
-from repro.utils.rng import spawn_rngs
 
-__all__ = ["run_table3"]
+__all__ = ["run_table3", "table3_row", "SEED_OFFSET"]
+
+SEED_OFFSET = 3
+
+
+def table3_row(
+    name: str,
+    *,
+    scale: str = "default",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    rng=None,
+) -> Dict:
+    """The Table 3 row for one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=SEED_OFFSET, config=config)
+    graph = load_dataset(name, scale)
+    true_diameter = reference_diameter(name, scale)
+    row: Dict = {"dataset": name, "true_diameter": true_diameter}
+    for label, coarse in (("coarse", True), ("fine", False)):
+        target = granularity_for(name, graph.num_nodes, coarse=coarse, config=config)
+        estimate = estimate_diameter(graph, target_clusters=target, seed=rng, weighted=True)
+        row[f"{label}_nC"] = estimate.num_clusters
+        row[f"{label}_mC"] = estimate.num_quotient_edges
+        row[f"{label}_lower"] = estimate.lower_bound
+        row[f"{label}_upper"] = round(estimate.upper_bound, 1)
+        row[f"{label}_ratio"] = round(estimate.approximation_ratio(true_diameter), 3)
+    return row
 
 
 def run_table3(
@@ -31,18 +56,4 @@ def run_table3(
 ) -> List[Dict]:
     """Compute the Table 3 rows (coarser and finer clustering per dataset)."""
     names = list(datasets) if datasets is not None else dataset_names()
-    rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 3, len(names))):
-        graph = load_dataset(name, scale)
-        true_diameter = reference_diameter(name, scale)
-        row: Dict = {"dataset": name, "true_diameter": true_diameter}
-        for label, coarse in (("coarse", True), ("fine", False)):
-            target = granularity_for(name, graph.num_nodes, coarse=coarse, config=config)
-            estimate = estimate_diameter(graph, target_clusters=target, seed=rng, weighted=True)
-            row[f"{label}_nC"] = estimate.num_clusters
-            row[f"{label}_mC"] = estimate.num_quotient_edges
-            row[f"{label}_lower"] = estimate.lower_bound
-            row[f"{label}_upper"] = round(estimate.upper_bound, 1)
-            row[f"{label}_ratio"] = round(estimate.approximation_ratio(true_diameter), 3)
-        rows.append(row)
-    return rows
+    return [table3_row(name, scale=scale, config=config) for name in names]

@@ -26,11 +26,76 @@ from typing import Dict, List, Optional, Sequence
 from repro.baselines.bfs_diameter import mr_bfs_diameter
 from repro.baselines.hadi import hadi_diameter
 from repro.core.mr_algorithms import mr_estimate_diameter
-from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, granularity_for
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, dataset_rng, granularity_for
 from repro.experiments.datasets import dataset_names, load_dataset, reference_diameter
-from repro.utils.rng import spawn_rngs
 
-__all__ = ["run_table4"]
+__all__ = ["run_table4", "table4_row", "SEED_OFFSET"]
+
+SEED_OFFSET = 4
+
+
+def table4_row(
+    name: str,
+    *,
+    scale: str = "default",
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    include_hadi: bool = True,
+    rng=None,
+) -> Dict:
+    """The Table 4 row for one dataset (the per-cell unit of the suite)."""
+    if rng is None:
+        rng = dataset_rng(name, offset=SEED_OFFSET, config=config)
+    graph = load_dataset(name, scale)
+    true_diameter = reference_diameter(name, scale)
+    target = granularity_for(name, graph.num_nodes, coarse=False, config=config)
+
+    ours = mr_estimate_diameter(
+        graph,
+        target_clusters=target,
+        seed=rng,
+        cost_model=config.cost_model,
+        backend=config.mr_backend,
+        num_shards=config.mr_shards,
+    )
+    bfs = mr_bfs_diameter(
+        graph,
+        seed=rng,
+        cost_model=config.cost_model,
+        backend=config.mr_backend,
+        num_shards=config.mr_shards,
+    )
+
+    row: Dict = {
+        "dataset": name,
+        "true_diameter": true_diameter,
+        "cluster_estimate": round(ours.estimate.upper_bound, 1),
+        "cluster_rounds": ours.rounds,
+        "cluster_pairs": ours.shuffled_pairs,
+        "cluster_time": round(ours.simulated_time, 1),
+        "bfs_estimate": bfs.estimate,
+        "bfs_rounds": bfs.metrics.rounds,
+        "bfs_pairs": bfs.metrics.shuffled_pairs,
+        "bfs_time": round(bfs.simulated_time, 1),
+    }
+    if include_hadi:
+        hadi = hadi_diameter(
+            graph,
+            num_registers=config.hadi_registers,
+            seed=rng,
+            cost_model=config.cost_model,
+            max_iterations=4 * max(1, true_diameter),
+            backend=config.mr_backend,
+            num_shards=config.mr_shards,
+        )
+        row.update(
+            {
+                "hadi_estimate": hadi.estimate,
+                "hadi_rounds": hadi.metrics.rounds,
+                "hadi_pairs": hadi.metrics.shuffled_pairs,
+                "hadi_time": round(hadi.simulated_time, 1),
+            }
+        )
+    return row
 
 
 def run_table4(
@@ -46,57 +111,7 @@ def run_table4(
     is convenient for smoke runs.
     """
     names = list(datasets) if datasets is not None else dataset_names()
-    rows: List[Dict] = []
-    for name, rng in zip(names, spawn_rngs(config.seed + 4, len(names))):
-        graph = load_dataset(name, scale)
-        true_diameter = reference_diameter(name, scale)
-        target = granularity_for(name, graph.num_nodes, coarse=False, config=config)
-
-        ours = mr_estimate_diameter(
-            graph,
-            target_clusters=target,
-            seed=rng,
-            cost_model=config.cost_model,
-            backend=config.mr_backend,
-            num_shards=config.mr_shards,
-        )
-        bfs = mr_bfs_diameter(
-            graph,
-            seed=rng,
-            cost_model=config.cost_model,
-            backend=config.mr_backend,
-            num_shards=config.mr_shards,
-        )
-
-        row: Dict = {
-            "dataset": name,
-            "true_diameter": true_diameter,
-            "cluster_estimate": round(ours.estimate.upper_bound, 1),
-            "cluster_rounds": ours.rounds,
-            "cluster_pairs": ours.shuffled_pairs,
-            "cluster_time": round(ours.simulated_time, 1),
-            "bfs_estimate": bfs.estimate,
-            "bfs_rounds": bfs.metrics.rounds,
-            "bfs_pairs": bfs.metrics.shuffled_pairs,
-            "bfs_time": round(bfs.simulated_time, 1),
-        }
-        if include_hadi:
-            hadi = hadi_diameter(
-                graph,
-                num_registers=config.hadi_registers,
-                seed=rng,
-                cost_model=config.cost_model,
-                max_iterations=4 * max(1, true_diameter),
-                backend=config.mr_backend,
-                num_shards=config.mr_shards,
-            )
-            row.update(
-                {
-                    "hadi_estimate": hadi.estimate,
-                    "hadi_rounds": hadi.metrics.rounds,
-                    "hadi_pairs": hadi.metrics.shuffled_pairs,
-                    "hadi_time": round(hadi.simulated_time, 1),
-                }
-            )
-        rows.append(row)
-    return rows
+    return [
+        table4_row(name, scale=scale, config=config, include_hadi=include_hadi)
+        for name in names
+    ]

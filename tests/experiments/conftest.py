@@ -1,0 +1,20 @@
+"""Shared fixtures for the experiment-harness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import configure_dataset_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolate_dataset_cache():
+    """Reset the process-wide dataset cache around every test.
+
+    Suite tests attach the cache's disk layer to per-test temp directories;
+    without this reset a later test could keep writing into a deleted
+    ``tmp_path`` (or read another test's artifacts).
+    """
+    configure_dataset_cache(None)
+    yield
+    configure_dataset_cache(None)

@@ -37,7 +37,7 @@ class TestDatasets:
     def test_load_is_connected_and_cached(self):
         a = load_dataset("mesh", "small")
         b = load_dataset("mesh", "small")
-        assert a is b  # lru_cache
+        assert a is b  # in-memory layer of the dataset cache
         from repro.graph.components import is_connected
 
         assert is_connected(a)

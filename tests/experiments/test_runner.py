@@ -1,6 +1,8 @@
-"""Tests for the experiment CLI (argument parsing and dispatch)."""
+"""Tests for the experiment CLI (argument parsing, dispatch, suite round-trips)."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -13,6 +15,9 @@ class TestParser:
         assert args.experiment == "table1"
         assert args.scale == "default"
         assert not args.csv
+        assert args.jobs == 1
+        assert args.out is None
+        assert not args.resume
 
     def test_flags(self):
         args = build_parser().parse_args(
@@ -21,9 +26,25 @@ class TestParser:
         assert args.no_hadi and args.csv
         assert args.datasets == ["mesh"]
 
+    def test_suite_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--jobs", "4", "--out", "results", "--resume"]
+        )
+        assert args.experiment == "suite"
+        assert args.jobs == 4 and args.out == "results" and args.resume
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tableX"])
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--jobs", "0"])
+
+    def test_resume_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume"])
+        assert "--out" in capsys.readouterr().err
 
 
 class TestDispatch:
@@ -61,6 +82,11 @@ class TestDispatch:
         assert code == 0
         assert "mesh" in capsys.readouterr().out
 
+    def test_main_unknown_dataset_is_clean_error(self, capsys):
+        code = main(["table2", "--scale", "small", "--datasets", "no-such-graph"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
     def test_main_pipeline_with_method(self, capsys):
         code = main(["pipeline", "--scale", "small", "--datasets", "mesh", "--method", "mpx"])
         assert code == 0
@@ -68,3 +94,63 @@ class TestDispatch:
         assert "Pipeline" in out
         assert "mpx" in out
         assert "t_decompose" in out
+
+
+class TestSuiteRoundTrip:
+    """End-to-end ``suite --resume`` round-trip through the real CLI."""
+
+    ARGS = ["suite", "--scale", "small", "--datasets", "livejournal-like", "--no-hadi", "--csv"]
+
+    def test_suite_resume_round_trip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        # Serial reference run, persisted to the store.
+        assert main(self.ARGS + ["--out", out_dir]) == 0
+        serial_csv = capsys.readouterr().out
+        manifest = json.loads((tmp_path / "results" / "manifest.json").read_text())
+        assert manifest["computed"] > 0 and manifest["cached"] == 0
+
+        # Parallel resumed run: every cell is a cache hit, output identical.
+        assert main(self.ARGS + ["--out", out_dir, "--jobs", "2", "--resume"]) == 0
+        resumed_csv = capsys.readouterr().out
+        assert resumed_csv == serial_csv
+        manifest = json.loads((tmp_path / "results" / "manifest.json").read_text())
+        assert manifest["computed"] == 0
+        assert manifest["cached"] == len(manifest["cells"])
+
+        # The stored artifacts regenerate the same tables without recompute.
+        assert main(["report", "--out", out_dir, "--csv"]) == 0
+        report_csv = capsys.readouterr().out
+        assert report_csv == serial_csv
+
+    def test_parallel_output_matches_serial(self, tmp_path, capsys):
+        from repro.experiments.datasets import clear_dataset_cache
+
+        # Two datasets so --jobs 2 really exercises the worker pool (a single
+        # pending cell degrades to in-process execution).
+        args = ["table2", "--scale", "small", "--datasets", "mesh", "roads-PA-like", "--csv"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        clear_dataset_cache()
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_report_without_manifest(self, tmp_path, capsys):
+        code = main(["report", "--out", str(tmp_path / "empty")])
+        assert code == 2
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestConfigThreading:
+    def test_backend_threaded_into_all_tables(self, capsys):
+        # The --backend/--shards/--method overrides reach every driver now,
+        # table1–table3 included (they were silently dropped before).
+        code = main(
+            ["table2", "--scale", "small", "--datasets", "mesh", "--backend", "serial", "--csv"]
+        )
+        assert code == 0
+        from repro.experiments.runner import _config_for
+
+        args = build_parser().parse_args(["table3", "--backend", "process", "--shards", "2"])
+        config = _config_for(args)
+        assert config.mr_backend == "process" and config.mr_shards == 2
