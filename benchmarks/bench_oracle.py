@@ -1,0 +1,173 @@
+"""Serving-plane benchmarks and the batched-beats-scalar smoke gate.
+
+The tentpole claim of the serving plane is that the redesigned batch query
+API answers a 100k-query workload at least 10x faster than 100k scalar
+``DistanceOracle.query`` calls, with *bit-identical* answers — batching is a
+pure execution-strategy change, not an approximation.  The same file times
+snapshot cold-starts against fresh decompositions (a cold start must skip
+clustering entirely) and the mixed-workload replay throughput of
+:func:`repro.serving.replay`.
+
+``test_batched_beats_scalar_queries`` is the CI smoke gate: it fails the
+build if the ≥10x speedup or the bit-identity ever regresses.  All
+measurements are appended to ``BENCH_oracle.json`` via the shared recorder
+so the serving-perf trajectory stays machine-readable across PRs.
+
+``REPRO_BENCH_QUICK=1`` trims the auxiliary benchmarks, but the gate always
+runs on the full 100k-query workload — the acceptance criterion is defined
+at that size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.store import ArtifactStore
+from repro.generators import barabasi_albert_graph, mesh_graph
+from repro.serving import GraphService, replay, synthetic_workload
+
+SPEEDUP_GATE = 10.0
+GATE_QUERIES = 100_000
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def gate_service():
+    """Service over a scale-free graph sized so the gate workload is honest."""
+    graph = barabasi_albert_graph(20_000, 6, seed=1)
+    return GraphService.build(graph, seed=0)
+
+
+def interleaved_best(runners, repetitions=3):
+    """Best-of-N wall-clock per runner, interleaved so a CPU-contention burst
+    on a noisy CI machine degrades every contender alike."""
+    timings = {name: [] for name in runners}
+    results = {}
+    for _ in range(repetitions):
+        for name, runner in runners.items():
+            start = time.perf_counter()
+            results[name] = runner()
+            timings[name].append(time.perf_counter() - start)
+    return {name: min(values) for name, values in timings.items()}, results
+
+
+# ------------------------------------------------------------------ #
+# Smoke gate: batched query plane >= 10x over scalar, bit-identical
+# ------------------------------------------------------------------ #
+def test_batched_beats_scalar_queries(gate_service, oracle_bench_recorder):
+    service = gate_service
+    oracle = service.oracle
+    rng = np.random.default_rng(7)
+    us = rng.integers(0, service.num_nodes, size=GATE_QUERIES)
+    vs = rng.integers(0, service.num_nodes, size=GATE_QUERIES)
+
+    def scalar_pass():
+        lower = np.empty(GATE_QUERIES)
+        upper = np.empty(GATE_QUERIES)
+        for i in range(GATE_QUERIES):
+            lower[i], upper[i] = oracle.query(int(us[i]), int(vs[i]))
+        return lower, upper
+
+    timings, results = interleaved_best(
+        {
+            "scalar": scalar_pass,
+            "batched": lambda: service.query_distance(us, vs),
+        },
+        repetitions=2 if QUICK else 3,
+    )
+
+    # Batching must be a pure execution-strategy change: bit-identical answers.
+    scalar_lower, scalar_upper = results["scalar"]
+    batch_lower, batch_upper = results["batched"]
+    assert np.array_equal(scalar_lower, batch_lower)
+    assert np.array_equal(scalar_upper, batch_upper)
+
+    for mode, seconds in timings.items():
+        oracle_bench_recorder(
+            benchmark="query_distance",
+            workload=f"ba-20k-m6/{GATE_QUERIES}-queries",
+            queries=GATE_QUERIES,
+            mode=mode,
+            seconds=seconds,
+        )
+    speedup = timings["scalar"] / timings["batched"]
+    oracle_bench_recorder(
+        benchmark="batched_vs_scalar",
+        workload=f"ba-20k-m6/{GATE_QUERIES}-queries",
+        queries=GATE_QUERIES,
+        mode="speedup",
+        seconds=timings["batched"],
+        speedup=speedup,
+        gate=SPEEDUP_GATE,
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"batched query_distance must be >= {SPEEDUP_GATE}x over scalar query() on "
+        f"{GATE_QUERIES} queries, got {speedup:.1f}x "
+        f"(scalar {timings['scalar'] * 1000:.0f} ms, batched {timings['batched'] * 1000:.0f} ms)"
+    )
+
+
+# ------------------------------------------------------------------ #
+# Snapshot cold-start vs fresh decomposition
+# ------------------------------------------------------------------ #
+def test_snapshot_cold_start(tmp_path, oracle_bench_recorder):
+    side = 60 if QUICK else 100
+    graph = mesh_graph(side, side)
+    store = ArtifactStore(tmp_path)
+
+    start = time.perf_counter()
+    built, loaded = GraphService.load_or_build(store, graph, tau=None, seed=0)
+    build_s = time.perf_counter() - start
+    assert not loaded
+
+    start = time.perf_counter()
+    cold, loaded = GraphService.load_or_build(store, graph, tau=None, seed=0)
+    cold_s = time.perf_counter() - start
+    assert loaded
+
+    # The cold start must serve the very same answers without re-decomposing.
+    rng = np.random.default_rng(3)
+    us = rng.integers(0, graph.num_nodes, size=10_000)
+    vs = rng.integers(0, graph.num_nodes, size=10_000)
+    for fresh_ans, cold_ans in zip(built.query_distance(us, vs), cold.query_distance(us, vs)):
+        assert np.array_equal(fresh_ans, cold_ans)
+    assert "decompose" not in cold.timings  # cold start skipped clustering
+
+    workload = f"mesh-{side}x{side}"
+    oracle_bench_recorder(
+        benchmark="service_start", workload=workload, queries=0,
+        mode="build", seconds=build_s,
+    )
+    oracle_bench_recorder(
+        benchmark="service_start", workload=workload, queries=0,
+        mode="cold_start", seconds=cold_s, speedup=build_s / cold_s,
+    )
+    assert cold_s < build_s, (
+        f"snapshot cold start ({cold_s * 1000:.0f} ms) should beat a fresh "
+        f"decomposition ({build_s * 1000:.0f} ms)"
+    )
+
+
+# ------------------------------------------------------------------ #
+# Mixed-workload replay throughput (feeds BENCH_oracle.json)
+# ------------------------------------------------------------------ #
+def test_replay_throughput(gate_service, oracle_bench_recorder):
+    num_queries = 20_000 if QUICK else GATE_QUERIES
+    log = synthetic_workload(gate_service.num_nodes, num_queries, seed=11)
+    reports = [replay(gate_service, log, batch_size=8192) for _ in range(2)]
+    best = min(reports, key=lambda r: r.elapsed_s)
+    # Replay is deterministic: both passes serve byte-identical answers.
+    assert reports[0].checksum == reports[1].checksum
+    oracle_bench_recorder(
+        benchmark="replay_mixed",
+        workload=f"ba-20k-m6/{num_queries}-queries",
+        queries=num_queries,
+        mode="batched",
+        seconds=best.elapsed_s,
+        p99_latency_ms=best.latency_ms["p99"],
+    )

@@ -55,15 +55,48 @@ def mr_bench_recorder():
     return record
 
 
+# ------------------------------------------------------------------ #
+# Machine-readable serving-plane trajectory (BENCH_oracle.json)
+# ------------------------------------------------------------------ #
+# bench_oracle.py records one row per measured (workload, mode) pair —
+# queries/sec for the batched and scalar query paths plus the
+# batched-vs-scalar speedup the CI gate asserts — written to
+# BENCH_oracle.json at session end (override with REPRO_BENCH_ORACLE_JSON).
+_ORACLE_BENCH_RESULTS: list = []
+
+
+@pytest.fixture(scope="session")
+def oracle_bench_recorder():
+    """Record one serving-plane benchmark measurement for BENCH_oracle.json."""
+
+    def record(*, benchmark: str, workload: str, queries: int, mode: str,
+               seconds: float, **extra) -> None:
+        row = {
+            "benchmark": benchmark,
+            "workload": workload,
+            "queries": int(queries),
+            "mode": mode,
+            "seconds": float(seconds),
+            "queries_per_s": int(queries) / float(seconds) if seconds > 0 else float("inf"),
+        }
+        row.update(extra)
+        _ORACLE_BENCH_RESULTS.append(row)
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _MR_BENCH_RESULTS:
-        return
-    path = Path(os.environ.get("REPRO_BENCH_MR_JSON", "BENCH_mr.json"))
-    payload = {
-        "quick_mode": os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0"),
-        "results": _MR_BENCH_RESULTS,
-    }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    if _MR_BENCH_RESULTS:
+        path = Path(os.environ.get("REPRO_BENCH_MR_JSON", "BENCH_mr.json"))
+        path.write_text(
+            json.dumps({"quick_mode": quick, "results": _MR_BENCH_RESULTS}, indent=2) + "\n"
+        )
+    if _ORACLE_BENCH_RESULTS:
+        path = Path(os.environ.get("REPRO_BENCH_ORACLE_JSON", "BENCH_oracle.json"))
+        path.write_text(
+            json.dumps({"quick_mode": quick, "results": _ORACLE_BENCH_RESULTS}, indent=2) + "\n"
+        )
 
 
 def bench_scale() -> str:

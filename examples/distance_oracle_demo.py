@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Approximate distance oracle built on CLUSTER2 (end of Section 4).
+"""Batched distance-oracle serving through the GraphService (Section 4 + serving plane).
 
-The oracle stores O(n) words — the clustering plus the all-pairs matrix of the
-weighted quotient graph — and answers distance queries with a lower and an
-upper bound without touching the graph again.  This script builds the oracle
-on a road-network-like graph, issues random queries and reports the observed
-approximation quality against exact BFS distances.
+The service runs the decomposition **once** — CLUSTER2 plus the quotient
+all-pairs matrices, O(n) words total — and then answers whole arrays of
+queries as pure vectorized lookups: distance bounds, same-cluster membership,
+eccentricity bounds, and k-center assignments.  This script builds the
+service on a road-network-like graph, serves every query of the demo in one
+batched call per query kind, and reports the observed approximation quality
+against exact BFS distances.
 
 Run with::
 
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import build_distance_oracle
+from repro import GraphService
 from repro.generators import road_network_graph
 from repro.graph import bfs_distances
 
@@ -25,31 +27,59 @@ def main() -> None:
     graph = road_network_graph(80, 80, seed=21)
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
 
-    oracle = build_distance_oracle(graph, seed=21)
+    service = GraphService.build(graph, seed=21)
     n_squared = graph.num_nodes ** 2
     print(
-        f"oracle: {oracle.num_clusters} clusters, "
-        f"{oracle.space_entries:,} stored entries "
-        f"({oracle.space_entries / n_squared:.1%} of the full distance matrix)\n"
+        f"service: {service.num_clusters} clusters, "
+        f"{service.space_entries:,} stored entries "
+        f"({service.space_entries / n_squared:.1%} of the full distance matrix), "
+        f"snapshot key {service.snapshot_key}\n"
     )
 
+    # Assemble the whole query workload up front, then serve it in ONE
+    # batched call per query kind — the serving plane never loops per pair.
     rng = np.random.default_rng(0)
     sources = rng.choice(graph.num_nodes, size=5, replace=False)
-    ratios = []
-    print(f"{'pair':>16} {'true':>6} {'lower':>6} {'upper':>6} {'stretch':>8}")
+    us, vs = [], []
     for s in sources:
-        true_dist = bfs_distances(graph, int(s))
-        targets = rng.choice(graph.num_nodes, size=4, replace=False)
-        for t in targets:
-            if t == s:
-                continue
-            lower, upper = oracle.query(int(s), int(t))
-            stretch = upper / max(1, true_dist[t])
-            ratios.append(stretch)
-            print(f"{f'({s},{t})':>16} {true_dist[t]:>6} {lower:>6.0f} {upper:>6.0f} {stretch:>8.2f}")
-            assert lower <= true_dist[t] <= upper
+        for t in rng.choice(graph.num_nodes, size=4, replace=False):
+            if t != s:
+                us.append(int(s))
+                vs.append(int(t))
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+
+    lower, upper = service.query_distance(us, vs)
+    same_cluster = service.query_same_cluster(us, vs)
+
+    ratios = []
+    true_cache = {}
+    print(f"{'pair':>16} {'true':>6} {'lower':>6} {'upper':>6} {'stretch':>8}  same-cluster")
+    for i in range(us.size):
+        s, t = int(us[i]), int(vs[i])
+        if s not in true_cache:
+            true_cache[s] = bfs_distances(graph, s)
+        true = true_cache[s][t]
+        stretch = upper[i] / max(1, true)
+        ratios.append(stretch)
+        print(
+            f"{f'({s},{t})':>16} {true:>6} {lower[i]:>6.0f} {upper[i]:>6.0f} "
+            f"{stretch:>8.2f}  {'yes' if same_cluster[i] else 'no'}"
+        )
+        assert lower[i] <= true <= upper[i]
     print(f"\nmean stretch of the upper bound: {np.mean(ratios):.2f} "
           f"(the guarantee is polylogarithmic; far-apart pairs are much tighter)")
+
+    # The same arrays also serve per-node eccentricity bounds and k-center
+    # assignments, precomputed from the one decomposition.
+    ecc_lower, ecc_upper = service.query_eccentricity(sources)
+    centers, center_dist = service.query_centers(sources)
+    print("\nper-node views of the same decomposition:")
+    for i, s in enumerate(sources):
+        print(
+            f"  node {int(s):>5}: ecc in [{ecc_lower[i]:.0f}, {ecc_upper[i]:.0f}], "
+            f"assigned center {int(centers[i])} at distance <= {center_dist[i]:.0f}"
+        )
 
 
 if __name__ == "__main__":

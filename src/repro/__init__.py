@@ -5,9 +5,14 @@ Diameter Approximation.*
 
 The package provides:
 
+* a **serving plane** (:mod:`repro.serving`): the :class:`GraphService`
+  precomputes one CLUSTER2 / weighted decomposition and then answers batched
+  distance / same-cluster / eccentricity / k-center queries as pure
+  vectorized lookups, with content-hashed snapshots for cold starts
+  (``python -m repro.experiments serve``);
 * the CLUSTER / CLUSTER2 parallel graph decompositions (the paper's primary
   contribution) and their applications — k-center approximation, diameter
-  approximation, and an approximate distance oracle;
+  approximation, and the batch-first approximate distance oracle;
 * every substrate needed to run and evaluate them from scratch: a CSR graph
   library, synthetic workload generators, a metered MR(M_G, M_L) MapReduce
   simulation engine, and the baselines (MPX, BFS, HADI/ANF, Gonzalez);
@@ -16,15 +21,15 @@ The package provides:
 
 Quick start::
 
-    from repro import generators, cluster, estimate_diameter
+    from repro import GraphService, generators
 
     graph = generators.mesh_graph(100, 100)
-    decomposition = cluster(graph, tau=32, seed=0)
-    estimate = estimate_diameter(graph, tau=32, seed=0)
-    print(decomposition.num_clusters, estimate.lower_bound, estimate.upper_bound)
+    service = GraphService.build(graph, seed=0)
+    lower, upper = service.query_distance([0, 17, 23], [9_999, 42, 23])
+    print(service.num_clusters, lower, upper)
 """
 
-from repro import analysis, baselines, core, generators, graph, mapreduce, sparsify, utils, weighted
+from repro import analysis, baselines, core, generators, graph, mapreduce, serving, sparsify, utils, weighted
 from repro.baselines import (
     bfs_diameter,
     gonzalez_kcenter,
@@ -47,10 +52,37 @@ from repro.core import (
     quotient_diameter,
 )
 from repro.graph import CSRGraph, load_edge_list
+from repro.serving import GraphService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Serving plane (the production query surface)
+    "GraphService",
+    "serving",
+    "DistanceOracle",
+    "build_distance_oracle",
+    # Decomposition algorithms and applications
+    "cluster",
+    "cluster2",
+    "Clustering",
+    "estimate_diameter",
+    "DiameterEstimate",
+    "kcenter",
+    "KCenterResult",
+    "build_quotient_graph",
+    "quotient_diameter",
+    "mr_estimate_diameter",
+    # Graph substrate
+    "CSRGraph",
+    "load_edge_list",
+    # Baselines
+    "bfs_diameter",
+    "gonzalez_kcenter",
+    "hadi_diameter",
+    "mpx_decomposition",
+    "mr_bfs_diameter",
+    # Subpackages
     "analysis",
     "baselines",
     "core",
@@ -60,24 +92,5 @@ __all__ = [
     "sparsify",
     "utils",
     "weighted",
-    "bfs_diameter",
-    "gonzalez_kcenter",
-    "hadi_diameter",
-    "mpx_decomposition",
-    "mr_bfs_diameter",
-    "Clustering",
-    "DiameterEstimate",
-    "DistanceOracle",
-    "KCenterResult",
-    "build_distance_oracle",
-    "build_quotient_graph",
-    "cluster",
-    "cluster2",
-    "estimate_diameter",
-    "kcenter",
-    "mr_estimate_diameter",
-    "quotient_diameter",
-    "CSRGraph",
-    "load_edge_list",
     "__version__",
 ]

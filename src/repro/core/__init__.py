@@ -27,8 +27,18 @@ from repro.core.mr_algorithms import (
     mr_weighted_cluster_decomposition,
 )
 from repro.core.mr_native import mr_cluster_native
-from repro.core.oracle import DistanceOracle, build_distance_oracle
-from repro.core.quotient import QuotientGraph, build_quotient_graph, quotient_diameter
+from repro.core.oracle import (
+    DistanceOracle,
+    build_distance_oracle,
+    check_node_batch,
+    default_oracle_tau,
+)
+from repro.core.quotient import (
+    QuotientGraph,
+    build_quotient_graph,
+    quotient_apsp,
+    quotient_diameter,
+)
 
 __all__ = [
     "cluster",
@@ -64,7 +74,10 @@ __all__ = [
     "mr_weighted_cluster_decomposition",
     "DistanceOracle",
     "build_distance_oracle",
+    "check_node_batch",
+    "default_oracle_tau",
     "QuotientGraph",
     "build_quotient_graph",
+    "quotient_apsp",
     "quotient_diameter",
 ]

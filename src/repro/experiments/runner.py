@@ -10,6 +10,15 @@ Usage (after installing the package)::
     python -m repro.experiments suite --scale small --jobs 4 --out results
     python -m repro.experiments suite --resume --out results   # only new/changed cells
     python -m repro.experiments report --out results           # re-render, no recompute
+    python -m repro.experiments serve --datasets mesh --scale small --out results
+    python -m repro.experiments serve --query-log queries.log --out results
+
+The ``serve`` subcommand drives the :mod:`repro.serving` plane: it builds the
+dataset's :class:`~repro.serving.GraphService` (or cold-starts it from a
+content-hashed snapshot under ``--out DIR``), replays a query-log file or a
+synthetic mixed workload in batches, and reports latency percentiles,
+queries/sec, and the SHA-256 of every served answer (so two runs can assert
+they answered identically).
 
 Every experiment decomposes into independent cells (experiment × dataset ×
 params) executed serially by default or in parallel with ``--jobs N``
@@ -85,9 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "suite", "report"],
+        choices=sorted(EXPERIMENTS) + ["all", "suite", "report", "serve"],
         help="which artifact to regenerate ('suite' = the full grid through "
-             "the cell runner; 'report' = re-render tables from a stored run)",
+             "the cell runner; 'report' = re-render tables from a stored run; "
+             "'serve' = build/load a GraphService snapshot and replay a query "
+             "workload against it)",
     )
     parser.add_argument("--scale", default="default", choices=["default", "small"],
                         help="dataset scale (small = quick smoke run)")
@@ -116,7 +127,88 @@ def build_parser() -> argparse.ArgumentParser:
                              "(requires --out); only new/changed cells recompute")
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a text table")
     parser.add_argument("--verbose", action="store_true", help="enable progress logging")
+    serve = parser.add_argument_group("serve", "options for the 'serve' subcommand")
+    serve.add_argument("--queries", type=_positive_int, default=100_000,
+                       help="size of the synthetic workload when no --query-log "
+                            "is given (default: 100000)")
+    serve.add_argument("--batch-size", type=_positive_int, default=8192,
+                       help="queries dispatched per vectorized batch (default: 8192)")
+    serve.add_argument("--query-log", default=None, metavar="FILE",
+                       help="replay this query-log file instead of a synthetic workload")
+    serve.add_argument("--save-log", default=None, metavar="FILE",
+                       help="write the replayed workload as a query-log file")
+    serve.add_argument("--tau", type=_positive_int, default=None,
+                       help="decomposition granularity for the service "
+                            "(default: the oracle's sqrt(n)/log^2 n)")
+    serve.add_argument("--oracle-seed", type=int, default=0,
+                       help="decomposition seed for the service (part of the "
+                            "snapshot content key; default: 0)")
     return parser
+
+
+def _run_serve(args) -> int:
+    """Build or cold-start a GraphService and replay a workload against it."""
+    from repro.experiments.datasets import load_dataset
+    from repro.serving import (
+        GraphService,
+        load_query_log,
+        replay,
+        save_query_log,
+        synthetic_workload,
+    )
+    from repro.serving.snapshot import snapshot_path
+
+    name = (args.datasets or ["mesh"])[0]
+    method = args.method if args.method is not None else "auto"
+    try:
+        graph = load_dataset(name, scale=args.scale)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"serve: dataset={name} scale={args.scale} "
+          f"nodes={graph.num_nodes} edges={graph.num_edges}")
+
+    try:
+        if args.out is not None:
+            store = ArtifactStore(args.out)
+            service, loaded = GraphService.load_or_build(
+                store, graph, tau=args.tau, seed=args.oracle_seed, method=method
+            )
+            origin = "loaded (cold start, no decomposition)" if loaded else "built and saved"
+            location = snapshot_path(store, service.snapshot_key)
+            print(f"snapshot: {origin} — {location}")
+        else:
+            service = GraphService.build(
+                graph, tau=args.tau, seed=args.oracle_seed, method=method
+            )
+            print("snapshot: none (in-memory build; pass --out DIR to persist)")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = service.stats()
+    print(f"service: {stats['num_clusters']} clusters, method={stats['method']}, "
+          f"tau={stats['tau']}, {stats['space_entries']:,} stored entries, "
+          f"key={stats['snapshot_key']}")
+
+    if args.query_log is not None:
+        try:
+            log = load_query_log(args.query_log)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load query log {args.query_log!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"workload: query log {args.query_log} ({len(log)} queries)")
+    else:
+        log = synthetic_workload(graph.num_nodes, args.queries, seed=args.oracle_seed)
+        print(f"workload: synthetic mixed ({len(log)} queries, "
+              f"seed={args.oracle_seed})")
+    if args.save_log is not None:
+        save_query_log(log, args.save_log)
+        print(f"workload: saved to {args.save_log}")
+
+    report = replay(service, log, batch_size=args.batch_size)
+    for line in report.summary_lines():
+        print(line)
+    return 0
 
 
 def _render(args, name: str, rows: List[Dict], summary: str) -> None:
@@ -135,6 +227,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         enable_verbose()
     if args.resume and args.out is None:
         parser.error("--resume requires --out DIR")
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment == "report":
         if args.out is None:
             parser.error("report requires --out DIR (a stored suite run)")

@@ -10,6 +10,7 @@ Two cooperating pieces live here:
         cells/<experiment>/<key>.json    # one artifact per executed cell
         datasets/<name>@<scale>.npz      # cached benchmark graphs
         datasets/<key>.diameter.json     # cached reference diameters (one per key)
+        snapshots/<key>.npz              # serving-plane oracle snapshots
 
   Cell artifacts are keyed by the cell's *content hash* (spec + config +
   seed), so ``--resume`` is a pure lookup: a cell whose key is already in the
@@ -99,6 +100,11 @@ class ArtifactStore:
     @property
     def datasets_dir(self) -> Path:
         return self.root / "datasets"
+
+    @property
+    def snapshots_dir(self) -> Path:
+        """Content-keyed ``GraphService`` snapshots (``repro.serving.snapshot``)."""
+        return self.root / "snapshots"
 
     @property
     def manifest_path(self) -> Path:

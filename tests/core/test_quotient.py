@@ -9,13 +9,31 @@ from repro.core.cluster import cluster
 from repro.core.quotient import (
     QuotientGraph,
     build_quotient_graph,
+    quotient_apsp,
     quotient_diameter,
     quotient_dijkstra,
 )
 from repro.core.clustering import Clustering
-from repro.generators import mesh_graph, path_graph
+from repro.generators import barabasi_albert_graph, mesh_graph, path_graph
 from repro.graph.components import is_connected
 from repro.graph.csr import CSRGraph
+
+
+def scipy_apsp(quotient: QuotientGraph) -> np.ndarray:
+    """Reference APSP through scipy.sparse.csgraph (the dropped dependency)."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path
+
+    n = quotient.num_nodes
+    data = (
+        quotient.weights
+        if quotient.weights is not None
+        else np.ones(quotient.graph.indices.size, dtype=np.float64)
+    )
+    matrix = csr_matrix((data, quotient.graph.indices, quotient.graph.indptr), shape=(n, n))
+    return shortest_path(
+        matrix, method="D", directed=False, unweighted=not quotient.is_weighted
+    )
 
 
 @pytest.fixture
@@ -135,6 +153,18 @@ class TestQuotientDiameter:
         with pytest.raises(ValueError):
             quotient_diameter(q, method="bogus")
 
+    def test_auto_large_quotient_uses_apsp_sweep(self, path10):
+        """n > 256 routes through quotient_apsp; same answer as the loop."""
+        big = path_graph(300)
+        singles = Clustering.singleton_clustering(big.num_nodes)
+        q = build_quotient_graph(big, singles)
+        assert quotient_diameter(q, method="auto") == 299.0
+        disconnected = QuotientGraph(
+            graph=CSRGraph.from_edges([(0, 1)], num_nodes=300)
+        )
+        with pytest.raises(ValueError, match="disconnected"):
+            quotient_diameter(disconnected, method="auto")
+
     def test_dijkstra_single_source(self, mesh20, mesh_clustering):
         q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
         dist = quotient_dijkstra(q, 0)
@@ -142,3 +172,42 @@ class TestQuotientDiameter:
         assert np.all(np.isfinite(dist))
         with pytest.raises(IndexError):
             quotient_dijkstra(q, q.num_nodes)
+
+
+class TestQuotientApsp:
+    """quotient_apsp replaced scipy in the oracle build; pin bit-compat."""
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_matches_scipy_on_mesh_quotient(self, mesh20, mesh_clustering, weighted):
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=weighted)
+        got = quotient_apsp(q)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, scipy_apsp(q))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_matches_scipy_on_random_graphs(self, seed, weighted):
+        graph = barabasi_albert_graph(250, 3, seed=seed)
+        clustering = cluster(graph, 4, seed=seed)
+        q = build_quotient_graph(graph, clustering, weighted=weighted)
+        # Quotient weights are integer-valued floats (growth distances + 1),
+        # so delta-stepping and scipy's Dijkstra agree bit-for-bit.
+        assert np.array_equal(quotient_apsp(q), scipy_apsp(q))
+
+    def test_symmetric_zero_diagonal(self, mesh20, mesh_clustering):
+        q = build_quotient_graph(mesh20, mesh_clustering, weighted=True)
+        matrix = quotient_apsp(q)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_disconnected_pairs_are_inf(self):
+        q = QuotientGraph(graph=CSRGraph.from_edges([(0, 1)], num_nodes=3))
+        matrix = quotient_apsp(q)
+        assert matrix[0, 1] == 1.0
+        assert np.isinf(matrix[0, 2]) and np.isinf(matrix[2, 1])
+        assert np.array_equal(matrix, scipy_apsp(q))
+
+    def test_empty_and_singleton(self):
+        assert quotient_apsp(QuotientGraph(graph=CSRGraph.empty(0))).shape == (0, 0)
+        single = quotient_apsp(QuotientGraph(graph=CSRGraph.empty(1)))
+        assert np.array_equal(single, [[0.0]])

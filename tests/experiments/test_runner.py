@@ -154,3 +154,65 @@ class TestConfigThreading:
         args = build_parser().parse_args(["table3", "--backend", "process", "--shards", "2"])
         config = _config_for(args)
         assert config.mr_backend == "process" and config.mr_shards == 2
+
+
+class TestServeCLI:
+    """End-to-end ``serve`` subcommand: build, cold-start, query-log replay."""
+
+    ARGS = ["serve", "--scale", "small", "--datasets", "mesh",
+            "--queries", "2000", "--batch-size", "256"]
+
+    @staticmethod
+    def checksum_of(output: str) -> str:
+        lines = [line for line in output.splitlines() if "answers sha256:" in line]
+        assert lines, f"no checksum line in output:\n{output}"
+        return lines[-1].split()[-1]
+
+    def test_in_memory_serve(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "in-memory build" in out
+        assert "replayed 2000 queries" in out
+        assert "queries/s" in out
+
+    def test_snapshot_cold_start_identical_answers(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(self.ARGS + ["--out", out_dir]) == 0
+        first = capsys.readouterr().out
+        assert "built and saved" in first
+
+        assert main(self.ARGS + ["--out", out_dir]) == 0
+        second = capsys.readouterr().out
+        assert "loaded (cold start, no decomposition)" in second
+        assert self.checksum_of(second) == self.checksum_of(first)
+
+    def test_query_log_round_trip(self, tmp_path, capsys):
+        log_file = str(tmp_path / "queries.log")
+        assert main(self.ARGS + ["--save-log", log_file]) == 0
+        saved = capsys.readouterr().out
+        assert main(["serve", "--scale", "small", "--datasets", "mesh",
+                     "--query-log", log_file, "--batch-size", "512"]) == 0
+        replayed = capsys.readouterr().out
+        # Same workload, different batch size, fresh service: same answers.
+        assert self.checksum_of(replayed) == self.checksum_of(saved)
+
+    def test_bad_query_log_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.log"
+        bad.write_text("distance 0 1\nbogus 2 3\n")
+        code = main(["serve", "--scale", "small", "--datasets", "mesh",
+                     "--query-log", str(bad)])
+        assert code == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_unknown_dataset_is_clean_error(self, capsys):
+        code = main(["serve", "--scale", "small", "--datasets", "no-such-graph"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.queries == 100_000
+        assert args.batch_size == 8192
+        assert args.query_log is None
+        assert args.tau is None
+        assert args.oracle_seed == 0
