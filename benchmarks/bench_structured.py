@@ -19,6 +19,7 @@ the perf trajectory is machine-readable across PRs.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -27,10 +28,17 @@ import pytest
 from repro.baselines.bfs_diameter import mr_bfs_diameter
 from repro.core.mr_native import mr_cluster_native
 from repro.generators import barabasi_albert_graph
-from repro.mapreduce.backends import ArrayPairs
+from repro.mapreduce import shm
+from repro.mapreduce.backends import ArrayPairs, ProcessBackend, fork_available
 from repro.mapreduce.engine import MREngine
+from repro.mapreduce.structured import get_structured_reducer
 
 SPEEDUP_GATE = 5.0
+
+#: The shm-path gate: the process backend must beat the single-process
+#: vectorized backend on a >= 1M-pair structured round (enforced where >= 2
+#: CPUs are available; numbers are recorded everywhere).
+SHM_SPEEDUP_GATE = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -119,6 +127,77 @@ def test_structured_bfs_beats_tuple_path(arc_graph, mr_bench_recorder):
         f"structured mr_bfs_diameter must be >= {SPEEDUP_GATE}x over the tuple path on "
         f"{arc_graph.num_directed_edges} arcs, got {speedup:.1f}x "
         f"(serial {timings['serial'] * 1000:.0f} ms, vectorized {timings['vectorized'] * 1000:.0f} ms)"
+    )
+
+
+# ------------------------------------------------------------------ #
+# Shared-memory gate: process backend >= 1.5x over vectorized at >= 1M pairs
+# ------------------------------------------------------------------ #
+@pytest.fixture(scope="module")
+def million_pair_workload():
+    """A >= 1M-pair ``min`` round, large enough to engage the shm data plane."""
+    rng = np.random.default_rng(11)
+    n = 1_100_000
+    keys = rng.integers(0, 150_000, size=n).astype(np.int64)
+    values = rng.integers(0, 2**40, size=n).astype(np.int64)
+    return ArrayPairs(keys, values)
+
+
+def test_shm_process_backend_beats_vectorized_at_scale(million_pair_workload, mr_bench_recorder):
+    """The tentpole gate: zero-copy shm rounds make the process backend win.
+
+    Bit-identity (outputs and metrics) and clean segment teardown are
+    asserted unconditionally; the >= 1.5x speedup over the vectorized
+    backend additionally needs real parallelism, so it is enforced only on
+    machines with >= 2 CPUs (CI) — single-CPU machines still record their
+    numbers into BENCH_mr.json.
+    """
+    if not fork_available():
+        pytest.skip("process backend requires fork")
+    cpus = os.cpu_count() or 1
+    backend = ProcessBackend(num_shards=max(2, cpus))
+    assert backend._shm_eligible(million_pair_workload, get_structured_reducer("min"))
+
+    vec_engine = MREngine(backend="vectorized")
+    proc_engine = MREngine(backend=backend)
+    try:
+        timings, results = interleaved_best(
+            {
+                "vectorized": lambda: vec_engine.run_structured_round(
+                    million_pair_workload, "min", label="shm-gate"
+                ),
+                "process-shm": lambda: proc_engine.run_structured_round(
+                    million_pair_workload, "min", label="shm-gate"
+                ),
+            }
+        )
+        assert np.array_equal(results["vectorized"].keys, results["process-shm"].keys)
+        assert np.array_equal(results["vectorized"].values, results["process-shm"].values)
+        assert vec_engine.metrics.as_dict() == proc_engine.metrics.as_dict()
+    finally:
+        proc_engine.close()
+        vec_engine.close()
+    assert shm.active_repro_segments() == []
+
+    pairs = len(million_pair_workload)
+    for name, seconds in timings.items():
+        mr_bench_recorder(
+            benchmark="shm_structured_min_round",
+            workload=f"uniform-min/{pairs}-pairs",
+            pairs=pairs,
+            backend=name,
+            seconds=seconds,
+        )
+    speedup = timings["vectorized"] / timings["process-shm"]
+    if cpus < 2:
+        pytest.skip(
+            f"shm speedup gate needs >= 2 CPUs (got {cpus}); recorded {speedup:.2f}x"
+        )
+    assert speedup >= SHM_SPEEDUP_GATE, (
+        f"shm process backend must be >= {SHM_SPEEDUP_GATE}x over vectorized on "
+        f"{pairs} pairs, got {speedup:.2f}x "
+        f"(vectorized {timings['vectorized'] * 1000:.0f} ms, "
+        f"process-shm {timings['process-shm'] * 1000:.0f} ms)"
     )
 
 

@@ -99,7 +99,13 @@ def bfs_diameter(
     )
 
 
-def _structured_bfs(engine: MREngine, graph: CSRGraph, source: int) -> Tuple[np.ndarray, int]:
+def _structured_bfs(
+    engine: MREngine,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    num_nodes: int,
+    source: int,
+) -> Tuple[np.ndarray, int]:
     """One BFS, every level executed as a structured MR round.
 
     Each round ships one claim ``(target, source)`` per arc leaving the
@@ -111,12 +117,12 @@ def _structured_bfs(engine: MREngine, graph: CSRGraph, source: int) -> Tuple[np.
     their round output driver-side, exactly like the kernel's unvisited
     filter.  Returns ``(distances, num_productive_levels)``.
     """
-    distances = np.full(graph.num_nodes, -1, dtype=np.int64)
+    distances = np.full(num_nodes, -1, dtype=np.int64)
     distances[source] = 0
     frontier = np.asarray([source], dtype=np.int64)
     level = 0
     while frontier.size:
-        src, dst, _ = kernels.gather_neighbors(graph.indptr, graph.indices, frontier)
+        src, dst, _ = kernels.gather_neighbors(indptr, indices, frontier)
         batch = ArrayPairs(np.concatenate((frontier, dst)), np.concatenate((frontier, src)))
         claimed = engine.run_structured_round(batch, "first", label="bfs-level")
         fresh = claimed.keys[distances[claimed.keys] < 0]
@@ -160,17 +166,26 @@ def mr_bfs_diameter(
         num_shards=num_shards,
     )
 
+    # Pin the CSR arrays into the backend's shared data plane for the two
+    # sweeps (zero-copy views on the process backend, the arrays themselves
+    # on in-process backends).
+    pinned = engine.pin_shared("bfs-csr", {"indptr": graph.indptr, "indices": graph.indices})
+    indptr, indices = pinned["indptr"], pinned["indices"]
+
     def run_one_bfs(source: int) -> tuple:
-        distances, levels = _structured_bfs(engine, graph, source)
+        distances, levels = _structured_bfs(engine, indptr, indices, n, source)
         return distances, levels
 
-    first_dist, first_levels = run_one_bfs(int(start))
-    reachable = np.flatnonzero(first_dist >= 0)
-    ecc_first = int(first_dist[reachable].max())
-    farthest = int(reachable[np.argmax(first_dist[reachable])])
-    second_dist, second_levels = run_one_bfs(farthest)
-    reachable2 = np.flatnonzero(second_dist >= 0)
-    ecc_second = int(second_dist[reachable2].max())
+    try:
+        first_dist, first_levels = run_one_bfs(int(start))
+        reachable = np.flatnonzero(first_dist >= 0)
+        ecc_first = int(first_dist[reachable].max())
+        farthest = int(reachable[np.argmax(first_dist[reachable])])
+        second_dist, second_levels = run_one_bfs(farthest)
+        reachable2 = np.flatnonzero(second_dist >= 0)
+        ecc_second = int(second_dist[reachable2].max())
+    finally:
+        engine.release_pins()
 
     return BFSDiameterResult(
         estimate=ecc_second,

@@ -80,14 +80,24 @@ class GrowingRoundMapper(ArrayMapper):
     arrays, never a per-arc Python tuple.
     """
 
-    def __init__(self, graph: CSRGraph, assignment: np.ndarray, distance: np.ndarray) -> None:
-        self.graph = graph
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        assignment: np.ndarray,
+        distance: np.ndarray,
+    ) -> None:
+        # CSR arrays arrive as whatever the engine's backend pinned: plain
+        # arrays in-process, zero-copy shared-memory views on the process
+        # backend (engine.pin_shared keeps them resident for the driver).
+        self.indptr = indptr
+        self.indices = indices
         self.assignment = assignment
         self.distance = distance
 
     def map_batch(self, batch: ArrayPairs) -> ArrayPairs:
         frontier = batch.keys
-        src, dst, _ = kernels.gather_neighbors(self.graph.indptr, self.graph.indices, frontier)
+        src, dst, _ = kernels.gather_neighbors(self.indptr, self.indices, frontier)
         targets = np.unique(dst)
         target_states = np.column_stack(
             (
@@ -185,7 +195,8 @@ CLUSTER_CLAIM_REDUCER = register_structured_reducer(ClusterClaimReducer())
 
 def _growing_round(
     engine: MREngine,
-    graph: CSRGraph,
+    indptr: np.ndarray,
+    indices: np.ndarray,
     assignment: np.ndarray,
     distance: np.ndarray,
     frontier: np.ndarray,
@@ -207,7 +218,7 @@ def _growing_round(
     accepted = engine.run_structured_round(
         states,
         CLUSTER_CLAIM_REDUCER,
-        mapper=GrowingRoundMapper(graph, assignment, distance),
+        mapper=GrowingRoundMapper(indptr, indices, assignment, distance),
         label="native-growing-step",
     )
     nodes = accepted.keys
@@ -285,43 +296,55 @@ def mr_cluster_native(
         centers.extend(int(v) for v in accepted)
         return accepted
 
-    while True:
-        uncovered = np.flatnonzero(assignment < 0)
-        if uncovered.size < threshold or uncovered.size == 0:
-            break
-        if iteration >= limit:
-            break
-        probability = selection_probability(n, tau, int(uncovered.size))
-        mask = random_subset_mask(int(uncovered.size), probability, rng)
-        selected = np.unique(uncovered[mask])
-        if selected.size == 0 and not centers:
-            selected = rng.choice(uncovered, size=1)
-        # Center selection / coverage counting: one bookkeeping round.
-        engine.charge_rounds(1, pairs_per_round=int(uncovered.size), label="native-center-selection")
-        accepted = add_centers(selected)
-        frontier = np.unique(np.concatenate([frontier, accepted]))
-        target = int(math.ceil(uncovered.size / 2.0))
-        covered_at_start = int(np.count_nonzero(assignment >= 0)) - int(accepted.size)
-        steps = 0
-        while int(np.count_nonzero(assignment >= 0)) - covered_at_start < target:
-            new_frontier = _growing_round(engine, graph, assignment, distance, frontier)
-            steps += 1
-            total_steps += 1
-            if new_frontier.size == 0:
-                frontier = np.zeros(0, dtype=np.int64)
+    # The graph's CSR arrays back every growing round of the driver: pin them
+    # once into the backend's shared data plane (zero-copy shared-memory
+    # views on the process backend, the arrays themselves elsewhere) and
+    # release the residency when the driver's round loop ends.
+    pinned = engine.pin_shared(
+        "cluster-csr", {"indptr": graph.indptr, "indices": graph.indices}
+    )
+    indptr, indices = pinned["indptr"], pinned["indices"]
+
+    try:
+        while True:
+            uncovered = np.flatnonzero(assignment < 0)
+            if uncovered.size < threshold or uncovered.size == 0:
                 break
-            frontier = new_frontier
-        iterations.append(
-            IterationStats(
-                iteration=iteration,
-                uncovered_before=int(uncovered.size),
-                new_centers=int(accepted.size),
-                growth_steps=steps,
-                covered_after=int(np.count_nonzero(assignment >= 0)),
-                selection_probability=probability,
+            if iteration >= limit:
+                break
+            probability = selection_probability(n, tau, int(uncovered.size))
+            mask = random_subset_mask(int(uncovered.size), probability, rng)
+            selected = np.unique(uncovered[mask])
+            if selected.size == 0 and not centers:
+                selected = rng.choice(uncovered, size=1)
+            # Center selection / coverage counting: one bookkeeping round.
+            engine.charge_rounds(1, pairs_per_round=int(uncovered.size), label="native-center-selection")
+            accepted = add_centers(selected)
+            frontier = np.unique(np.concatenate([frontier, accepted]))
+            target = int(math.ceil(uncovered.size / 2.0))
+            covered_at_start = int(np.count_nonzero(assignment >= 0)) - int(accepted.size)
+            steps = 0
+            while int(np.count_nonzero(assignment >= 0)) - covered_at_start < target:
+                new_frontier = _growing_round(engine, indptr, indices, assignment, distance, frontier)
+                steps += 1
+                total_steps += 1
+                if new_frontier.size == 0:
+                    frontier = np.zeros(0, dtype=np.int64)
+                    break
+                frontier = new_frontier
+            iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    uncovered_before=int(uncovered.size),
+                    new_centers=int(accepted.size),
+                    growth_steps=steps,
+                    covered_after=int(np.count_nonzero(assignment >= 0)),
+                    selection_probability=probability,
+                )
             )
-        )
-        iteration += 1
+            iteration += 1
+    finally:
+        engine.release_pins()
 
     # Final singleton promotion.
     leftovers = np.flatnonzero(assignment < 0)

@@ -50,8 +50,10 @@ from repro.experiments import (
     table4,
 )
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.datasets import DATASETS, dataset_cache, dataset_names
+from repro.experiments.datasets import DATASETS, dataset_cache, dataset_names, load_dataset
 from repro.experiments.store import ArtifactStore, to_jsonable
+from repro.mapreduce.backends import fork_available, shutdown_pool
+from repro.mapreduce import shm
 
 __all__ = [
     "ExperimentCell",
@@ -335,9 +337,47 @@ def run_cell(
     return to_jsonable(definition.run_cell(cell, scale, config))
 
 
+def _seed_shared_datasets(shared) -> None:
+    """Seed this process's dataset cache from shared-memory descriptors.
+
+    ``shared`` maps ``(name, scale)`` to the :class:`~repro.mapreduce.shm.SharedArrayRef`
+    descriptors of a graph the parent already loaded and published.  The
+    worker reconstructs each graph as zero-copy views over the attached
+    segments (``CSRGraph`` keeps already-contiguous ``int64`` arrays as-is),
+    so ``load_dataset`` inside the cell is a pure memory hit — the parent's
+    single disk load is the only one of the whole run.  Idempotent: graphs
+    already resident in the cache are kept.
+    """
+    if not shared:
+        return
+    from repro.graph.csr import CSRGraph
+
+    cache = dataset_cache()
+    for (name, scale), refs in shared.items():
+
+        def build(refs=refs):
+            weights = shm.attach_view(refs["weights"]) if "weights" in refs else None
+            return CSRGraph(
+                shm.attach_view(refs["indptr"]), shm.attach_view(refs["indices"]), weights
+            )
+
+        cache.seed(name, scale, build)
+
+
 def _execute_cell_task(task) -> Tuple[List[Dict], float]:
-    """Pool task: run one cell, returning ``(rows, elapsed_seconds)``."""
-    cell, scale, config = task
+    """Pool task: run one cell, returning ``(rows, elapsed_seconds)``.
+
+    ``task`` is ``(cell, scale, config)`` or — when the parent published the
+    run's datasets into shared memory — ``(cell, scale, config, shared)``
+    with ``shared`` the descriptor map consumed by
+    :func:`_seed_shared_datasets`.  Only descriptors cross the pool boundary,
+    never arrays.
+    """
+    if len(task) == 4:
+        cell, scale, config, shared = task
+        _seed_shared_datasets(shared)
+    else:
+        cell, scale, config = task
     start = time.perf_counter()
     rows = run_cell(cell, scale, config)
     return rows, time.perf_counter() - start
@@ -410,6 +450,10 @@ class SuiteRunner:
         persistent pool, reused across :meth:`run` calls until :meth:`close`
         (also via the context manager / garbage collection); platforms
         without ``fork`` degrade to serial execution with identical results.
+        Parallel runs load each required dataset from disk exactly once: the
+        parent publishes the built graphs into shared-memory segments
+        (:mod:`repro.mapreduce.shm`) and workers reconstruct them as
+        zero-copy views, seeding their process-local dataset cache.
     resume:
         Serve cells whose content key already exists in the store instead of
         recomputing them.  Requires ``store``.
@@ -431,25 +475,67 @@ class SuiteRunner:
         self.config = config
         self.jobs = int(jobs)
         self.resume = bool(resume)
-        self._fork_available = "fork" in multiprocessing.get_all_start_methods()
+        self._fork_available = fork_available()
         self._pool = None
+        self._shm_pool: Optional[shm.SharedArrayPool] = None
+        # (name, scale) -> descriptor dict of the published graph arrays;
+        # memoized so repeated run() calls re-use one published copy.
+        self._shared_datasets: Dict[Tuple[str, str], Dict[str, shm.SharedArrayRef]] = {}
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle (the ProcessBackend pattern)
     # ------------------------------------------------------------------ #
     def _ensure_pool(self):
         if self._pool is None:
+            # Workers must inherit the parent's resource tracker so their
+            # shared-memory attachments never spawn a private tracker that
+            # would unlink the parent's segments at worker exit.
+            shm.ensure_tracker_running()
             context = multiprocessing.get_context("fork")
             workers = min(self.jobs, os.cpu_count() or 1)
             self._pool = context.Pool(processes=workers)
         return self._pool
 
+    def _ensure_shm_pool(self) -> shm.SharedArrayPool:
+        if self._shm_pool is None:
+            self._shm_pool = shm.SharedArrayPool()
+        return self._shm_pool
+
+    def _publish_datasets(self, cells, scale: str):
+        """Publish every dataset the cells need into shared memory, once each.
+
+        The parent performs the single disk load (or build) per
+        ``(dataset, scale)`` here; workers only ever see descriptors.
+        """
+        shared: Dict[Tuple[str, str], Dict[str, shm.SharedArrayRef]] = {}
+        for cell in cells:
+            name = cell.dataset
+            if name is None or name not in DATASETS:
+                continue
+            key = (name, scale)
+            if key not in self._shared_datasets:
+                graph = load_dataset(name, scale)
+                arrays = {"indptr": graph.indptr, "indices": graph.indices}
+                if graph.weights is not None:
+                    arrays["weights"] = graph.weights
+                self._shared_datasets[key] = self._ensure_shm_pool().publish(arrays)
+            shared[key] = self._shared_datasets[key]
+        return shared
+
     def close(self) -> None:
-        """Shut down the worker pool (re-created lazily if used again)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut down the worker pool and release published dataset segments.
+
+        The pool is drained gracefully (``close()``/``join()`` with a bounded
+        wait, ``terminate()`` as fallback); everything is re-created lazily
+        if the runner is used again.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            shutdown_pool(pool)
+        self._shared_datasets.clear()
+        shm_pool, self._shm_pool = self._shm_pool, None
+        if shm_pool is not None:
+            shm_pool.close()
 
     def __enter__(self) -> "SuiteRunner":
         return self
@@ -523,10 +609,15 @@ class SuiteRunner:
                 pending.append((len(outcomes) - 1, cell, key))
 
         if pending:
-            tasks = [(cell, scale, self.config) for _, cell, _ in pending]
-            if self.jobs > 1 and self._fork_available and len(tasks) > 1:
+            parallel = self.jobs > 1 and self._fork_available and len(pending) > 1
+            if parallel:
+                # Load every needed dataset once in the parent and publish it
+                # into shared memory; tasks carry descriptors, not arrays.
+                shared = self._publish_datasets([cell for _, cell, _ in pending], scale)
+                tasks = [(cell, scale, self.config, shared) for _, cell, _ in pending]
                 results = self._ensure_pool().map(_execute_cell_task, tasks)
             else:
+                tasks = [(cell, scale, self.config) for _, cell, _ in pending]
                 results = [_execute_cell_task(task) for task in tasks]
             for (index, cell, key), (rows, elapsed) in zip(pending, results):
                 outcomes[index] = CellOutcome(cell, key, "computed", rows, elapsed)

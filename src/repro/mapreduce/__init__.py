@@ -7,8 +7,11 @@ from repro.mapreduce.backends import (
     SerialBackend,
     VectorizedBackend,
     available_backends,
+    fork_available,
     get_backend,
+    shutdown_pool,
 )
+from repro.mapreduce.shm import SharedArrayPool, SharedArrayRef, active_repro_segments
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import MREngine, identity_mapper
 from repro.mapreduce.metrics import MRMetrics
@@ -38,7 +41,12 @@ __all__ = [
     "VectorizedBackend",
     "ProcessBackend",
     "available_backends",
+    "fork_available",
     "get_backend",
+    "shutdown_pool",
+    "SharedArrayPool",
+    "SharedArrayRef",
+    "active_repro_segments",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "MREngine",

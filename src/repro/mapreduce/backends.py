@@ -28,7 +28,17 @@ a round — shuffle (grouping by key) and reduce — to an
     (picklable reducers travel inside each task; arbitrary closures fall back
     to a per-round fork-inherited pool); where ``fork`` is unavailable the
     backend transparently degrades to in-process shard-at-a-time execution
-    with identical semantics.
+    with identical semantics.  Large structured rounds (at least
+    ``shm_min_pairs`` pairs, default 131072 or ``REPRO_SHM_MIN_PAIRS``) run
+    on a *zero-copy shared-memory data plane* (:mod:`repro.mapreduce.shm`):
+    the round's key/value arrays are published once into
+    ``multiprocessing.shared_memory`` segments, workers receive only
+    :class:`~repro.mapreduce.shm.SharedArrayRef` descriptors plus contiguous
+    per-shard index ranges, and winner rows are written into a preallocated
+    shared output segment — no pickled numpy arrays cross the pool boundary
+    in either direction.  Long-lived driver data (a graph's CSR arrays, a
+    suite's datasets) can be pinned into the same plane via
+    :meth:`ExecutionBackend.pin_shared`.
 
 Every backend implements the same contract and is *bit-compatible* with the
 serial reference: identical output pair lists (same order — groups are emitted
@@ -42,7 +52,11 @@ Besides the classic per-key-callable rounds, every backend also executes
 :class:`ArrayPairs` batches.  The serial backend runs them through the
 flattened tuple path (the bit-compatibility reference), the vectorized
 backend as pure segment reductions with zero per-key Python calls, and the
-process backend by sharding the key/value arrays across its worker pool.
+process backend by sharding the key/value arrays across its worker pool —
+through shared-memory descriptors above the ``shm_min_pairs`` threshold,
+pickled shard arrays below it.  The shm path is bit-identical to both other
+paths (same outputs, same metrics) and falls back automatically when fork is
+unavailable, the round is single-shard, or the dtypes are not shareable.
 """
 
 from __future__ import annotations
@@ -50,10 +64,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
+import weakref
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,7 +91,40 @@ __all__ = [
     "ProcessBackend",
     "get_backend",
     "available_backends",
+    "fork_available",
+    "shutdown_pool",
 ]
+
+
+def fork_available() -> bool:
+    """True when forked worker pools may be used on this platform.
+
+    Spawn-only platforms (and test/CI runs setting ``REPRO_MR_NO_FORK=1`` to
+    simulate them) make every pool-based component degrade to in-process
+    execution with identical semantics.
+    """
+    if os.environ.get("REPRO_MR_NO_FORK", "") not in ("", "0"):
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shutdown_pool(pool, *, timeout: float = 5.0) -> None:
+    """Gracefully shut down a ``multiprocessing.Pool``.
+
+    ``close()`` + a bounded wait for the workers to drain and exit, falling
+    back to ``terminate()`` only when the deadline passes — so workers get
+    the chance to release attached shared-memory segments cleanly instead of
+    dying mid-teardown.
+    """
+    pool.close()
+    workers = list(getattr(pool, "_pool", None) or [])
+    deadline = time.monotonic() + timeout
+    while any(worker.is_alive() for worker in workers):
+        if time.monotonic() >= deadline:
+            pool.terminate()
+            break
+        time.sleep(0.01)
+    pool.join()
 
 
 class ArrayPairs:
@@ -199,6 +248,21 @@ class ExecutionBackend(ABC):
         if isinstance(reducer, structured.CallableReducer):
             return structured.outcome_from_round(self.shuffle_reduce(mapped, reducer.reference))
         return structured.execute_reference(mapped, reducer)
+
+    def pin_shared(self, name: str, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Pin long-lived arrays into the backend's shared data plane.
+
+        Round-heavy drivers pin their graph's CSR arrays once so the backend
+        can keep them resident for the driver's lifetime.  In-process
+        backends have nothing to share — the default returns the arrays
+        unchanged — while :class:`ProcessBackend` publishes them into
+        shared-memory segments and returns zero-copy views.  Pins are
+        released by :meth:`release_pins` (or :meth:`close`).
+        """
+        return dict(arrays)
+
+    def release_pins(self) -> None:
+        """Release every array pinned via :meth:`pin_shared` (default no-op)."""
 
     def close(self) -> None:
         """Release backend resources (worker pools); a no-op by default."""
@@ -423,40 +487,92 @@ class ProcessBackend(ExecutionBackend):
     collection); a closed backend lazily re-creates the pool if used again.
 
     Structured rounds are sharded as *arrays*: the key array is partitioned
-    with ``keys % num_shards`` masks (no per-pair tuples) and every shard is
-    reduced with the same segment reductions as the vectorized backend.
+    by ``keys % num_shards`` (no per-pair tuples) and every shard is reduced
+    with the same segment reductions as the vectorized backend.  Rounds of at
+    least ``shm_min_pairs`` pairs take the *zero-copy shared-memory path*
+    (:mod:`repro.mapreduce.shm`): the key/value arrays are published into one
+    shared segment in shard order, workers receive only ``(segment, dtype,
+    shape, offset)`` descriptors plus a contiguous ``[start, end)`` slice per
+    shard, and the reduced winner rows are written into a preallocated shared
+    output segment — no pickled NumPy array ever crosses the pool boundary in
+    either direction.  Smaller rounds (and key/value dtypes shared memory
+    cannot hold) keep the descriptor-free pickled-shard path; fork-less
+    platforms keep the in-process fallback.
 
     Parameters
     ----------
     num_shards:
         Number of shuffle shards (defaults to the CPU count).  Also the upper
         bound on pool workers.
+    shm_min_pairs:
+        Minimum structured-round size (in mapped pairs) for the shared-memory
+        path; below it the fixed segment-setup cost outweighs the saved
+        serialization.  Defaults to ``REPRO_SHM_MIN_PAIRS`` or 131072.
     """
 
     name = "process"
 
-    def __init__(self, num_shards: Optional[int] = None) -> None:
+    def __init__(
+        self, num_shards: Optional[int] = None, *, shm_min_pairs: Optional[int] = None
+    ) -> None:
         if num_shards is not None and num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards if num_shards is not None else (os.cpu_count() or 1)
-        self._fork_available = "fork" in multiprocessing.get_all_start_methods()
+        if shm_min_pairs is None:
+            shm_min_pairs = int(os.environ.get("REPRO_SHM_MIN_PAIRS", 131072))
+        self.shm_min_pairs = int(shm_min_pairs)
+        self._fork_available = fork_available()
         self._pool = None
+        self._shm_pool = None
+        self._pins: Dict[str, Dict[str, object]] = {}
+        # _picklable memo: reducers are probed once per *object*, not once per
+        # round — round-heavy drivers reuse one registered reducer for
+        # hundreds of rounds, and each pickle.dumps probe costs more than the
+        # lookup that replaces it.  Keyed weakly so dead reducers drop out.
+        self._picklable_cache: "weakref.WeakKeyDictionary[object, bool]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------ #
     def _ensure_pool(self):
         """The persistent worker pool, forked lazily on first use."""
         if self._pool is None:
+            from repro.mapreduce import shm
+
+            # Start the resource tracker before forking so workers inherit
+            # it — their attach-time registrations must land in the owner's
+            # tracker, not in a private per-worker one.
+            shm.ensure_tracker_running()
             context = multiprocessing.get_context("fork")
             workers = min(self.num_shards, os.cpu_count() or 1)
             self._pool = context.Pool(processes=workers)
         return self._pool
 
+    def _ensure_shm_pool(self):
+        """The backend's shared-segment pool, created lazily on first use."""
+        if self._shm_pool is None:
+            from repro.mapreduce import shm
+
+            self._shm_pool = shm.SharedArrayPool()
+        return self._shm_pool
+
     def close(self) -> None:
-        """Shut down the persistent pool (re-created lazily if used again)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut down the pool and the shared-memory plane.
+
+        The worker pool is drained gracefully (``close()``/``join()`` with a
+        bounded wait; ``terminate()`` only as the timeout fallback) so
+        workers release their segment attachments cleanly, then every shared
+        segment this backend still owns — including any leaked by a failed
+        round — is unlinked.  Both are re-created lazily if the backend is
+        used again.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            shutdown_pool(pool)
+        self._pins.clear()
+        shm_pool, self._shm_pool = self._shm_pool, None
+        if shm_pool is not None:
+            shm_pool.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -464,13 +580,52 @@ class ProcessBackend(ExecutionBackend):
         except Exception:
             pass
 
-    @staticmethod
-    def _picklable(reducer: object) -> bool:
+    def _picklable(self, reducer: object) -> bool:
+        try:
+            cached = self._picklable_cache.get(reducer)
+        except TypeError:  # unhashable / non-weakrefable reducer
+            cached = None
+        if cached is not None:
+            return cached
         try:
             pickle.dumps(reducer)
-            return True
+            result = True
         except Exception:
-            return False
+            result = False
+        try:
+            self._picklable_cache[reducer] = result
+        except TypeError:
+            pass
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Long-lived pinned arrays (graph CSR residency)
+    # ------------------------------------------------------------------ #
+    def pin_shared(self, name: str, arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Publish ``arrays`` into shared segments and return zero-copy views.
+
+        Pinning models the distributed graph residency of the paper's
+        algorithms: a round-heavy driver publishes its CSR arrays once, and
+        they stay resident in shared memory until :meth:`release_pins` /
+        :meth:`close`.  Platforms without fork (where no pool will ever
+        attach) skip the publication and return the arrays unchanged.
+        """
+        if not self._fork_available:
+            return dict(arrays)
+        stale = self._pins.pop(name, None)
+        if stale is not None:
+            self._ensure_shm_pool().release_refs(stale)
+        pool = self._ensure_shm_pool()
+        refs = pool.publish(arrays)
+        self._pins[name] = refs
+        return {key: pool.view(ref) for key, ref in refs.items()}
+
+    def release_pins(self) -> None:
+        """Unpin (release) every array pinned via :meth:`pin_shared`."""
+        if self._shm_pool is not None:
+            for refs in self._pins.values():
+                self._shm_pool.release_refs(refs)
+        self._pins.clear()
 
     # ------------------------------------------------------------------ #
     def shuffle_reduce(self, mapped: PairBatch, reducer: Reducer) -> RoundOutcome:
@@ -518,12 +673,14 @@ class ProcessBackend(ExecutionBackend):
     ) -> "StructuredOutcome":
         """Array-native sharded execution of a structured round.
 
-        Shards are carved out of the key/value arrays with ``keys %
-        num_shards`` masks — no per-pair tuple list is ever built — and each
-        shard is segment-reduced in a persistent-pool worker.  Key arrays
-        that cannot be mod-sharded (strings, floats) run the single-driver
-        segment path instead; the output and counters are identical either
-        way.
+        Shards are carved out of the key/value arrays by ``keys %
+        num_shards`` — no per-pair tuple list is ever built — and each shard
+        is segment-reduced in a persistent-pool worker.  Rounds of at least
+        ``shm_min_pairs`` pairs run zero-copy through shared memory
+        (:meth:`_shuffle_reduce_structured_shm`); smaller rounds ship pickled
+        shard arrays as before.  Key arrays that cannot be mod-sharded
+        (strings, floats) run the single-driver segment path instead; output
+        and counters are identical on every path.
         """
         from repro.mapreduce import structured
 
@@ -535,6 +692,9 @@ class ProcessBackend(ExecutionBackend):
         keys = mapped.keys
         if keys.dtype.kind not in "iub" or self.num_shards == 1:
             return structured.execute_segments(mapped, reducer)
+
+        if self._shm_eligible(mapped, reducer):
+            return self._shuffle_reduce_structured_shm(mapped, reducer)
 
         shard_ids = keys.astype(np.int64, copy=False) % self.num_shards
         tasks = []
@@ -548,6 +708,112 @@ class ProcessBackend(ExecutionBackend):
         else:
             results = [structured.reduce_structured_shard(task) for task in tasks]
         return structured.merge_shard_groups(mapped, reducer, results)
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy shared-memory structured path
+    # ------------------------------------------------------------------ #
+    def _shm_eligible(self, mapped: "ArrayPairs", reducer: "StructuredReducer") -> bool:
+        """Whether this round should run through shared memory.
+
+        Requires a forkable platform (descriptors are useless without pool
+        workers), more than one shard, a round big enough to amortize the
+        segment setup, fixed-width key/value/result dtypes (object arrays
+        cannot live in a shared buffer), and a picklable reducer (the tiny
+        reducer object still travels inside each task).
+        """
+        if not self._fork_available or self.num_shards <= 1:
+            return False
+        if len(mapped) < self.shm_min_pairs:
+            return False
+        if mapped.values.dtype.kind in "OV":
+            return False
+        if np.dtype(reducer.result_dtype(mapped.values)).kind in "OV":
+            return False
+        return self._picklable(reducer)
+
+    def _shuffle_reduce_structured_shm(
+        self, mapped: "ArrayPairs", reducer: "StructuredReducer"
+    ) -> "StructuredOutcome":
+        """One structured round through the zero-copy shared-memory plane.
+
+        The round's arrays are permuted into shard order (a stable
+        counting-style sort of ``keys % num_shards``, so every shard is one
+        contiguous slice and within-shard arrival order — the order the
+        grouping semantics depend on — is preserved) and published into one
+        shared input segment.  A second segment is preallocated for the
+        outputs at full-round capacity: shard ``[start, end)`` writes its
+        groups to the same ``[start, start + count)`` range, so writers never
+        overlap.  Workers receive descriptors and slice bounds only; the
+        driver merges the per-shard group ranges back into global
+        first-occurrence order and releases both segments, win or lose.
+        """
+        from repro.mapreduce import shm, structured
+
+        keys = mapped.keys
+        values = mapped.values
+        n = len(mapped)
+        shard_ids = keys.astype(np.int64, copy=False) % self.num_shards
+        order = structured.grouping_order(shard_ids)
+        counts = np.bincount(shard_ids, minlength=self.num_shards)
+        bounds = np.zeros(self.num_shards + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+
+        pool = self._ensure_shm_pool()
+        in_refs = pool.publish(
+            {
+                "keys": keys[order],
+                "values": values[order],
+                "indices": order.astype(np.int64, copy=False),
+            }
+        )
+        out_refs = pool.allocate(
+            {
+                "first": (np.dtype(np.int64), (n,)),
+                "keys": (keys.dtype, (n,)),
+                "rows": (
+                    np.dtype(reducer.result_dtype(values)),
+                    (n,) + tuple(reducer.result_row_shape(values)),
+                ),
+            }
+        )
+        tasks = []
+        for shard in range(self.num_shards):
+            start, end = int(bounds[shard]), int(bounds[shard + 1])
+            if end > start:
+                tasks.append((reducer, in_refs, out_refs, start, end))
+        try:
+            if len(tasks) > 1:
+                results = self._ensure_pool().map(shm.reduce_shard_from_refs, tasks)
+            else:
+                results = [shm.reduce_shard_from_refs(task) for task in tasks]
+            return self._merge_shm_results(mapped, reducer, out_refs, tasks, results)
+        finally:
+            pool.release_refs(in_refs)
+            pool.release_refs(out_refs)
+
+    def _merge_shm_results(self, mapped, reducer, out_refs, tasks, results):
+        """Merge per-shard group ranges from the shared output segment.
+
+        Builds the same ``(first, keys, rows, max_input)`` shard tuples the
+        pickled path produces — as views into the shared output — and funnels
+        them through :func:`~repro.mapreduce.structured.merge_shard_groups`,
+        so both process paths share one merge (and its bit-compatibility
+        contract).  The merge concatenates and reorders, which copies the
+        views out of the segment; the caller releases it right after.
+        """
+        from repro.mapreduce import structured
+
+        pool = self._ensure_shm_pool()
+        first_view = pool.view(out_refs["first"])
+        keys_view = pool.view(out_refs["keys"])
+        rows_view = pool.view(out_refs["rows"])
+        shard_groups = []
+        for (_, _, _, start, _), (count, max_input) in zip(tasks, results):
+            stop = start + count
+            shard_groups.append(
+                (first_view[start:stop], keys_view[start:stop], rows_view[start:stop], max_input)
+            )
+        return structured.merge_shard_groups(mapped, reducer, shard_groups)
 
 
 _BACKENDS: Dict[str, Callable[[Optional[int]], ExecutionBackend]] = {

@@ -236,8 +236,31 @@ class MREngine:
             raise ValueError(f"pairs_per_round must be one-dimensional, got shape {charges.shape}")
         self.metrics.record_charged_rounds(charges, label=label)
 
+    # ------------------------------------------------------------------ #
+    def pin_shared(self, name: str, arrays) -> dict:
+        """Pin long-lived arrays into the backend's shared data plane.
+
+        Round-heavy drivers call this once with their graph's CSR arrays
+        (``indptr`` / ``indices`` / optionally ``weights``): the process
+        backend publishes them into shared-memory segments for the driver's
+        lifetime and returns zero-copy views, while in-process backends
+        return the arrays unchanged — so drivers can pin unconditionally.
+        Pass ``None`` values freely; they are forwarded untouched.  Release
+        with :meth:`release_pins` (or :meth:`close`).
+        """
+        present = {key: value for key, value in arrays.items() if value is not None}
+        pinned = dict(self.backend.pin_shared(name, present))
+        for key, value in arrays.items():
+            if value is None:
+                pinned[key] = None
+        return pinned
+
+    def release_pins(self) -> None:
+        """Release every array pinned via :meth:`pin_shared`."""
+        self.backend.release_pins()
+
     def close(self) -> None:
-        """Release backend resources (e.g. the process backend's worker pool).
+        """Release backend resources (worker pools, pinned shared segments).
 
         Safe to call more than once; the backend lazily re-acquires its
         resources if the engine is used again afterwards.

@@ -23,7 +23,13 @@ that every backend knows how to execute over an unflattened
 ``process``
     Shards the key/value *arrays* by ``keys % num_shards`` (array masks, no
     per-pair tuples), runs the segment reduction per shard in a pool worker,
-    and merges the emitted groups back into first-occurrence order.
+    and merges the emitted groups back into first-occurrence order.  Rounds
+    of at least ``shm_min_pairs`` pairs travel over the zero-copy
+    shared-memory data plane of :mod:`repro.mapreduce.shm`: the sorted
+    key/value arrays are published once into shared segments, workers slice
+    contiguous per-shard views from descriptors, and winner rows land in a
+    preallocated shared output segment — no pickled arrays in either
+    direction.
 
 All three produce bit-identical :class:`StructuredOutcome`\\ s — same output
 arrays in the same (first-occurrence) order, same counters — so the metered

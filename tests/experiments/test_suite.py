@@ -332,3 +332,151 @@ class TestRenderStored:
     def test_cache_sidestep(self):
         # dataset_cache() exposes the live cache object used by load_dataset.
         assert dataset_cache().directory is None
+
+
+class TestSharedDatasets:
+    """The shared-memory dataset plane of parallel suite runs."""
+
+    def test_cache_seed_skips_disk_and_keeps_resident_graph(self, tmp_path):
+        cache = DatasetCache(directory=tmp_path)
+        built = load_dataset("mesh", "small")
+        calls = {"count": 0}
+
+        def build():
+            calls["count"] += 1
+            return built
+
+        seeded = cache.seed("mesh", "small", build)
+        assert seeded is built and calls["count"] == 1
+        # No .npz was written and nothing was read: seed is memory-only.
+        assert list(tmp_path.glob("*.npz")) == []
+        # A resident graph wins over a later seed (same-object semantics).
+        other = object()
+        assert cache.seed("mesh", "small", lambda: other) is built
+        assert calls["count"] == 1
+
+    def test_jobs2_loads_each_dataset_from_disk_exactly_once(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        import repro.graph.io as graph_io
+        from repro.mapreduce import shm
+
+        datasets = ["mesh", "roads-PA-like"]
+        store = ArtifactStore(tmp_path / "run")
+        # Populate the disk layer (serial, builds + saves the graphs).
+        clear_dataset_cache()
+        with SuiteRunner(store=store) as runner:
+            small_run(runner, experiments=["table1"], datasets=datasets)
+        for name in datasets:
+            assert (store.datasets_dir / f"{name}@small.npz").exists()
+
+        # Count every npz read, attributed to the reading process.  The patch
+        # must land before the pool forks so workers inherit it.
+        log = tmp_path / "loads.log"
+        real_load = graph_io.load_npz
+
+        def counting_load(path, *args, **kwargs):
+            with open(log, "a") as handle:
+                handle.write(f"{os_module.getpid()} {path}\n")
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(graph_io, "load_npz", counting_load)
+        clear_dataset_cache()
+        with SuiteRunner(store=store, jobs=2) as runner:
+            runner._ensure_pool()  # fork first: workers start with cold caches
+            result = small_run(runner, experiments=["table1", "table2"], datasets=datasets)
+        assert result.computed == len(result.outcomes)
+
+        lines = log.read_text().splitlines() if log.exists() else []
+        by_dataset = {}
+        for line in lines:
+            pid, path = line.split(" ", 1)
+            by_dataset.setdefault(path, []).append(int(pid))
+        # Each dataset was read from disk exactly once, and only by the parent.
+        assert sorted(path.rsplit("/", 1)[-1] for path in by_dataset) == sorted(
+            f"{name}@small.npz" for name in datasets
+        )
+        for path, pids in by_dataset.items():
+            assert pids == [os_module.getpid()], path
+        assert shm.active_repro_segments() == []
+        clear_dataset_cache()
+        shm.detach_all()
+
+    def test_parallel_tasks_carry_descriptors_not_arrays(self, tmp_path):
+        import pickle
+
+        from repro.mapreduce import shm
+
+        class RecordingPool:
+            def __init__(self):
+                self.payloads = []
+
+            def map(self, func, tasks):
+                results = []
+                for task in tasks:
+                    restored = pickle.loads(pickle.dumps(task))
+                    self.payloads.append(restored)
+                    results.append(func(restored))
+                return results
+
+        datasets = ["mesh", "livejournal-like"]
+        clear_dataset_cache()
+        with SuiteRunner() as runner:
+            serial = small_run(runner, experiments=["table2"], datasets=datasets)
+
+        clear_dataset_cache()
+        runner = SuiteRunner(jobs=2)
+        fake = RecordingPool()
+        runner._pool = fake
+        try:
+            if not runner._fork_available:
+                pytest.skip("requires fork")
+            parallel = small_run(runner, experiments=["table2"], datasets=datasets)
+            assert deterministic_view(serial.rows_for("table2")) == deterministic_view(
+                parallel.rows_for("table2")
+            )
+            assert fake.payloads
+            for task in fake.payloads:
+                assert not shm.contains_ndarray(task)
+                assert len(shm.flatten_refs(task)) > 0
+        finally:
+            runner._pool = None
+            runner.close()
+            clear_dataset_cache()
+            shm.detach_all()
+        assert shm.active_repro_segments() == []
+
+    def test_no_fork_suite_degrades_to_serial(self, monkeypatch):
+        from repro.mapreduce import shm
+
+        clear_dataset_cache()
+        with SuiteRunner() as runner:
+            serial = small_run(runner, experiments=["table1"], datasets=["mesh"])
+        monkeypatch.setenv("REPRO_MR_NO_FORK", "1")
+        clear_dataset_cache()
+        with SuiteRunner(jobs=2) as runner:
+            assert not runner._fork_available
+            got = small_run(runner, experiments=["table1"], datasets=["mesh"])
+        assert deterministic_view(serial.rows_for("table1")) == deterministic_view(
+            got.rows_for("table1")
+        )
+        assert shm.active_repro_segments() == []
+
+    def test_close_releases_published_segments(self):
+        from repro.mapreduce import shm
+
+        clear_dataset_cache()
+        runner = SuiteRunner(jobs=2)
+        if not runner._fork_available:
+            runner.close()
+            pytest.skip("requires fork")
+        cells = build_cells(["table1"], SuiteRequest(scale="small", datasets=("mesh",)))
+        shared = runner._publish_datasets(cells, "small")
+        assert ("mesh", "small") in shared
+        assert len(shm.active_repro_segments()) == 1
+        # Re-publication is memoized: same descriptors, no new segment.
+        again = runner._publish_datasets(cells, "small")
+        assert again == shared
+        assert len(shm.active_repro_segments()) == 1
+        runner.close()
+        assert shm.active_repro_segments() == []

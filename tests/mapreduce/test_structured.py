@@ -17,7 +17,12 @@ from repro.baselines.bfs_diameter import mr_bfs_diameter
 from repro.baselines.hadi import hadi_diameter
 from repro.core.mr_native import mr_cluster_native
 from repro.generators import barabasi_albert_graph, mesh_graph
-from repro.mapreduce.backends import ArrayPairs, ProcessBackend, VectorizedBackend
+from repro.mapreduce.backends import (
+    ArrayPairs,
+    ProcessBackend,
+    VectorizedBackend,
+    fork_available,
+)
 from repro.mapreduce.engine import MREngine
 from repro.mapreduce.structured import (
     ArrayMapper,
@@ -270,6 +275,7 @@ def test_grouping_order_matches_stable_argsort(keys):
 # ---------------------------------------------------------------------- #
 # Persistent process pool (reused across rounds, closed on teardown)
 # ---------------------------------------------------------------------- #
+@pytest.mark.skipif(not fork_available(), reason="pool forking requires fork")
 def test_process_pool_reused_across_rounds_and_closed():
     backend = ProcessBackend(num_shards=2)
     engine = MREngine(backend=backend)
@@ -288,6 +294,7 @@ def test_process_pool_reused_across_rounds_and_closed():
     engine.close()
 
 
+@pytest.mark.skipif(not fork_available(), reason="pool forking requires fork")
 def test_engine_context_manager_closes_pool():
     with MREngine(backend="process", num_shards=2) as engine:
         engine.run_structured_round(ArrayPairs(np.arange(50) % 5, np.arange(50)), "max")
