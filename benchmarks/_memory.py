@@ -1,0 +1,85 @@
+"""Shared peak-RSS measurement helpers for the benchmark harness.
+
+``ru_maxrss`` is a *monotonic* high-water mark over the process lifetime, so
+an in-process before/after delta cannot attribute memory to one workload that
+is smaller than whatever ran earlier.  The trustworthy way to compare the
+footprints of two code paths is to run each in a fresh interpreter and read
+its high-water mark at exit — :func:`measure_peak_rss` does exactly that.
+
+:func:`process_peak_rss` is the cheap in-process reading (self plus reaped
+children) used to annotate benchmark rows; it is an upper bound shared by
+everything that ran earlier in the same process, which is fine for trajectory
+tracking but not for gates — gates go through :func:`measure_peak_rss`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Appended to every measured snippet: prints the child's own high-water mark
+#: as the final stdout line (bytes; ``ru_maxrss`` is KiB on Linux, bytes on
+#: macOS).
+_EPILOGUE = """
+
+import json as _json
+import resource as _resource
+import sys as _sys
+
+_peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+if _sys.platform != "darwin":
+    _peak *= 1024
+print(_json.dumps({"__peak_rss_bytes__": int(_peak)}))
+"""
+
+
+def process_peak_rss() -> int:
+    """Peak RSS of this process and its reaped children, in bytes."""
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def measure_peak_rss(
+    code: str, *, env: Optional[Dict[str, str]] = None, timeout: float = 600.0
+) -> Tuple[int, str]:
+    """Run ``code`` in a fresh interpreter; return ``(peak_rss_bytes, stdout)``.
+
+    The snippet executes top-level in a clean ``python -c`` process with the
+    repository's ``src`` on ``PYTHONPATH``, so its high-water mark reflects
+    only the measured workload plus the interpreter/numpy baseline — which is
+    identical for every snippet measured this way, making ratios meaningful.
+    ``stdout`` is the snippet's own output (the measurement line stripped),
+    so callers can pass results (counts, checksums) back for assertions.
+    """
+    full_env = dict(os.environ if env is None else env)
+    existing = full_env.get("PYTHONPATH")
+    full_env["PYTHONPATH"] = str(_SRC) + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code + _EPILOGUE],
+        env=full_env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"measured snippet failed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    lines = proc.stdout.splitlines()
+    for index in range(len(lines) - 1, -1, -1):
+        if "__peak_rss_bytes__" in lines[index]:
+            peak = int(json.loads(lines[index])["__peak_rss_bytes__"])
+            return peak, "\n".join(lines[:index] + lines[index + 1 :])
+    raise RuntimeError(f"measured snippet produced no measurement line:\n{proc.stdout}")

@@ -25,6 +25,7 @@ import time
 import numpy as np
 import pytest
 
+from _memory import process_peak_rss
 from repro.baselines.bfs_diameter import mr_bfs_diameter
 from repro.core.mr_native import mr_cluster_native
 from repro.generators import barabasi_albert_graph
@@ -91,6 +92,7 @@ def test_structured_cluster_native_beats_tuple_path(arc_graph, mr_bench_recorder
             pairs=pairs,
             backend=backend,
             seconds=seconds,
+            peak_rss_bytes=process_peak_rss(),
         )
     speedup = timings["serial"] / timings["vectorized"]
     assert speedup >= SPEEDUP_GATE, (
@@ -121,6 +123,7 @@ def test_structured_bfs_beats_tuple_path(arc_graph, mr_bench_recorder):
             pairs=pairs,
             backend=backend,
             seconds=seconds,
+            peak_rss_bytes=process_peak_rss(),
         )
     speedup = timings["serial"] / timings["vectorized"]
     assert speedup >= SPEEDUP_GATE, (
@@ -187,6 +190,7 @@ def test_shm_process_backend_beats_vectorized_at_scale(million_pair_workload, mr
             pairs=pairs,
             backend=name,
             seconds=seconds,
+            peak_rss_bytes=process_peak_rss(),
         )
     speedup = timings["vectorized"] / timings["process-shm"]
     if cpus < 2:

@@ -40,17 +40,18 @@ _MR_BENCH_RESULTS: list = []
 def mr_bench_recorder():
     """Record one MR benchmark measurement for BENCH_mr.json."""
 
-    def record(*, benchmark: str, workload: str, pairs: int, backend: str, seconds: float) -> None:
-        _MR_BENCH_RESULTS.append(
-            {
-                "benchmark": benchmark,
-                "workload": workload,
-                "pairs": int(pairs),
-                "backend": backend,
-                "seconds": float(seconds),
-                "ns_per_pair": float(seconds) / max(1, int(pairs)) * 1e9,
-            }
-        )
+    def record(*, benchmark: str, workload: str, pairs: int, backend: str,
+               seconds: float, **extra) -> None:
+        row = {
+            "benchmark": benchmark,
+            "workload": workload,
+            "pairs": int(pairs),
+            "backend": backend,
+            "seconds": float(seconds),
+            "ns_per_pair": float(seconds) / max(1, int(pairs)) * 1e9,
+        }
+        row.update(extra)
+        _MR_BENCH_RESULTS.append(row)
 
     return record
 

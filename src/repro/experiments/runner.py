@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.tables import render_csv, render_stored_tables, render_table
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.store import ArtifactStore
-from repro.experiments.suite import EXPERIMENTS, SuiteRunner
+from repro.experiments.suite import DEFAULT_EXPERIMENTS, EXPERIMENTS, SuiteRunner
 from repro.mapreduce.backends import available_backends
 from repro.utils.logging import enable_verbose
 
@@ -100,8 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
              "'serve' = build/load a GraphService snapshot and replay a query "
              "workload against it)",
     )
-    parser.add_argument("--scale", default="default", choices=["default", "small"],
-                        help="dataset scale (small = quick smoke run)")
+    parser.add_argument("--scale", default="default", choices=["default", "small", "xl"],
+                        help="dataset scale (small = quick smoke run; xl = the "
+                             "out-of-core 'scale' tier's ~1e8-edge frontier)")
     parser.add_argument("--datasets", nargs="*", default=None,
                         help="restrict to these dataset names")
     parser.add_argument("--no-hadi", action="store_true",
@@ -241,7 +242,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         return 0
 
-    names = sorted(EXPERIMENTS) if args.experiment in ("all", "suite") else [args.experiment]
+    # 'all'/'suite' run the default grid; the out-of-core 'scale' tier streams
+    # a >=10M-edge graph to disk per run, so it only executes when named.
+    names = (
+        sorted(DEFAULT_EXPERIMENTS)
+        if args.experiment in ("all", "suite")
+        else [args.experiment]
+    )
     store = ArtifactStore(args.out) if args.out is not None else None
     runner = SuiteRunner(
         store=store, config=_config_for(args), jobs=args.jobs, resume=args.resume

@@ -8,7 +8,7 @@ Two cooperating pieces live here:
       <root>/
         manifest.json                  # latest run: config, cells, timings
         cells/<experiment>/<key>.json    # one artifact per executed cell
-        datasets/<name>@<scale>.npz      # cached benchmark graphs
+        datasets/<name>@<scale>.snap     # cached benchmark graphs (mmap-able snapshots)
         datasets/<key>.diameter.json     # cached reference diameters (one per key)
         snapshots/<key>.npz              # serving-plane oracle snapshots
 
@@ -19,12 +19,13 @@ Two cooperating pieces live here:
 
 * :class:`DatasetCache` — the bounded two-level cache behind
   :func:`repro.experiments.datasets.load_dataset`: a small in-memory LRU of
-  built graphs in front of an optional disk layer (graphs as ``.npz``,
-  reference diameters as one small ``*.diameter.json`` file per key — per-key
-  files make concurrent worker writes idempotent instead of a
-  read-modify-write race on a shared dictionary).  Pointing the cache at a
-  store's ``datasets/`` directory lets the suite's worker processes share one
-  build of every benchmark graph across runs.
+  built graphs in front of an optional disk layer (graphs in the mmap-able
+  snapshot format of :mod:`repro.graph.snapshot`, reference diameters as one
+  small ``*.diameter.json`` file per key — per-key files make concurrent
+  worker writes idempotent instead of a read-modify-write race on a shared
+  dictionary).  Pointing the cache at a store's ``datasets/`` directory lets
+  the suite's worker processes share one build of every benchmark graph
+  across runs — with ``mmap=True`` they share the *pages* too.
 
 Everything written is plain JSON / NumPy ``.npz``; :func:`to_jsonable`
 normalizes NumPy scalars and arrays so rows loaded from the store compare
@@ -35,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import secrets
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
@@ -72,9 +74,14 @@ def to_jsonable(value):
 
 
 def _write_json_atomic(path: Path, payload) -> None:
-    """Write JSON via a per-process temp file + rename (safe under workers)."""
+    """Write JSON via a temp file + rename (safe under concurrent workers).
+
+    The temp name carries both the pid and a random suffix: pid alone is not
+    unique across hosts sharing one artifact directory (NFS), so two writers
+    could clobber each other's in-flight temp file.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{secrets.token_hex(4)}.tmp")
     tmp.write_text(json.dumps(payload, indent=1) + "\n")
     os.replace(tmp, path)
 
@@ -155,24 +162,37 @@ class DatasetCache:
 
     A bounded in-memory LRU (``memory_items`` graphs — repeated loads of a
     resident graph return the *same object*, which several callers rely on)
-    sits in front of an optional disk layer: graphs as compressed ``.npz``
-    files and reference diameters as one ``*.diameter.json`` file per key.
-    With no ``directory`` configured the cache is memory-only, which is the
-    test-suite default; the suite runner points it at the artifact store so
-    builds persist across runs and are shared by worker processes (each key
-    is its own file, written via a per-process temp file + rename, and all
-    values are seed-deterministic, so concurrent workers race benignly).  A
-    directory passed at construction (the ``REPRO_DATASET_CACHE`` env var or
-    :func:`~repro.experiments.datasets.configure_dataset_cache`) is *pinned*:
-    the suite runner will not repoint it at a store.
+    sits in front of an optional disk layer: graphs in the raw snapshot
+    format of :mod:`repro.graph.snapshot` (``*.snap``; legacy ``.npz``
+    entries are still read and migrated forward) and reference diameters as
+    one ``*.diameter.json`` file per key.  With ``mmap=True`` (the default)
+    disk hits open the snapshot as read-only ``np.memmap`` views, so every
+    process mapping the same cache file shares one physical copy through the
+    OS page cache — this is how ``SuiteRunner --jobs`` workers share
+    disk-resident datasets without reshipping arrays.  With no ``directory``
+    configured the cache is memory-only, which is the test-suite default;
+    the suite runner points it at the artifact store so builds persist
+    across runs and are shared by worker processes (each key is its own
+    file, written atomically via a collision-safe temp name + rename, and
+    all values are seed-deterministic, so concurrent workers race benignly).
+    A directory passed at construction (the ``REPRO_DATASET_CACHE`` env var
+    or :func:`~repro.experiments.datasets.configure_dataset_cache`) is
+    *pinned*: the suite runner will not repoint it at a store.
     """
 
-    def __init__(self, directory: Optional[PathLike] = None, memory_items: int = 16) -> None:
+    def __init__(
+        self,
+        directory: Optional[PathLike] = None,
+        memory_items: int = 16,
+        *,
+        mmap: bool = True,
+    ) -> None:
         if memory_items < 1:
             raise ValueError(f"memory_items must be >= 1, got {memory_items}")
         self.memory_items = int(memory_items)
         self._directory: Optional[Path] = Path(directory) if directory is not None else None
         self.pinned = directory is not None
+        self.mmap = bool(mmap)
         self._graphs: "OrderedDict[tuple, object]" = OrderedDict()
         self._diameters: Dict[str, int] = {}
 
@@ -187,6 +207,10 @@ class DatasetCache:
     # ------------------------------------------------------------------ #
     def _graph_path(self, name: str, scale: str) -> Path:
         assert self._directory is not None
+        return self._directory / f"{name}@{scale}.snap"
+
+    def _legacy_graph_path(self, name: str, scale: str) -> Path:
+        assert self._directory is not None
         return self._directory / f"{name}@{scale}.npz"
 
     def _diameter_path(self, key: str) -> Path:
@@ -194,7 +218,12 @@ class DatasetCache:
         return self._directory / f"{key}.diameter.json"
 
     def graph(self, name: str, scale: str, build: Callable[[], object]):
-        """The cached graph for ``(name, scale)``, building via ``build()`` on miss."""
+        """The cached graph for ``(name, scale)``, building via ``build()`` on miss.
+
+        Disk hits come back as read-only mmap views when the cache was
+        constructed with ``mmap=True``; a legacy ``.npz`` entry is read once
+        and migrated forward to the snapshot format.
+        """
         key = (name, scale)
         hit = self._graphs.get(key)
         if hit is not None:
@@ -202,26 +231,35 @@ class DatasetCache:
             return hit
         graph = None
         if self._directory is not None:
+            from repro.graph.snapshot import load_snapshot, save_snapshot
+
             path = self._graph_path(name, scale)
             if path.exists():
-                from repro.graph.io import load_npz
-
                 try:
-                    graph = load_npz(path)
-                except (OSError, ValueError, KeyError):
+                    graph = load_snapshot(path, mmap=self.mmap)
+                except (OSError, ValueError):
                     graph = None  # corrupt cache file: fall through to a rebuild
+            if graph is None:
+                legacy = self._legacy_graph_path(name, scale)
+                if legacy.exists():
+                    from repro.graph.io import load_npz
+
+                    try:
+                        migrated = load_npz(legacy)
+                    except (OSError, ValueError, KeyError):
+                        migrated = None
+                    if migrated is not None:
+                        save_snapshot(migrated, path)  # atomic; races benignly
+                        graph = load_snapshot(path, mmap=self.mmap)
         if graph is None:
             graph = build()
             if self._directory is not None:
-                from repro.graph.io import save_npz
-
-                path = self._graph_path(name, scale)
                 path.parent.mkdir(parents=True, exist_ok=True)
-                # savez appends ".npz" unless the name already ends with it,
-                # so the temp name must keep the suffix for the rename to work.
-                tmp = path.with_name(f".{path.stem}.{os.getpid()}.npz")
-                save_npz(graph, tmp)
-                os.replace(tmp, path)
+                save_snapshot(graph, path)
+                if self.mmap:
+                    # Serve the disk-backed views immediately so even the
+                    # building process shares pages with its siblings.
+                    graph = load_snapshot(path, mmap=True)
         self._graphs[key] = graph
         while len(self._graphs) > self.memory_items:
             self._graphs.popitem(last=False)
@@ -275,7 +313,6 @@ class DatasetCache:
         self._graphs.clear()
         self._diameters.clear()
         if disk and self._directory is not None and self._directory.is_dir():
-            for path in self._directory.glob("*.npz"):
-                path.unlink(missing_ok=True)
-            for path in self._directory.glob("*.diameter.json"):
-                path.unlink(missing_ok=True)
+            for pattern in ("*.snap", "*.npz", "*.diameter.json"):
+                for path in self._directory.glob(pattern):
+                    path.unlink(missing_ok=True)

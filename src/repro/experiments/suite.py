@@ -44,6 +44,7 @@ from repro.experiments import (
     ablations,
     figure1,
     pipeline_stages,
+    scale as scale_tier,
     table1,
     table2,
     table3,
@@ -63,9 +64,11 @@ __all__ = [
     "SuiteResult",
     "CellOutcome",
     "EXPERIMENTS",
+    "DEFAULT_EXPERIMENTS",
     "build_cells",
     "run_cell",
     "deterministic_view",
+    "MEASURED_COLUMNS",
     "SUITE_SCHEMA",
 ]
 
@@ -77,16 +80,25 @@ SUITE_SCHEMA = 1
 # reported as measured and excluded from that guarantee.
 WALL_CLOCK_PREFIX = "t_"
 
+# Exact-name measured columns (in addition to the ``t_`` prefix): values that
+# depend on the executing process or the state of caches rather than on the
+# cell spec, e.g. the scale tier's peak-RSS readings.
+MEASURED_COLUMNS = frozenset({"peak_rss_bytes", "reused_snapshot"})
+
 
 def deterministic_view(rows: Sequence[Dict]) -> List[Dict]:
-    """Rows with wall-clock measurement columns removed.
+    """Rows with measured (wall-clock / memory / cache-state) columns removed.
 
     This is the projection the cross-mode equivalence tests compare: every
     remaining column is a pure function of the cell spec and config, so
     serial, parallel, and resumed runs must agree on it bit-for-bit.
     """
     return [
-        {key: value for key, value in row.items() if not key.startswith(WALL_CLOCK_PREFIX)}
+        {
+            key: value
+            for key, value in row.items()
+            if not key.startswith(WALL_CLOCK_PREFIX) and key not in MEASURED_COLUMNS
+        }
         for row in rows
     ]
 
@@ -219,6 +231,19 @@ def _ablations_cells(request: SuiteRequest) -> List[ExperimentCell]:
     return cells
 
 
+def _scale_cells(request: SuiteRequest) -> List[ExperimentCell]:
+    """One cell per R-MAT scale point of the requested tier.
+
+    Scale cells carry their graph in ``params`` (not ``dataset``): the graphs
+    come from :data:`~repro.experiments.scale.SCALE_GRAPHS`, not the benchmark
+    registry, so dataset-restriction and shared-memory publishing don't apply.
+    """
+    return [
+        ExperimentCell("scale", None, (("graph", name),))
+        for name in scale_tier.scale_graph_names(request.scale)
+    ]
+
+
 # ---------------------------------------------------------------------- #
 # Cell runners (module-level, picklable; each returns a list of row dicts)
 # ---------------------------------------------------------------------- #
@@ -262,6 +287,10 @@ def _run_ablations_cell(cell, scale, config):
     if part == "kcenter":
         return ablations.kcenter_rows(cell.dataset, scale=scale, config=config)
     raise KeyError(f"unknown ablation part {part!r}")
+
+
+def _run_scale_cell(cell, scale, config):
+    return [scale_tier.scale_row(cell.param("graph"), scale=scale, config=config)]
 
 
 EXPERIMENTS: Dict[str, ExperimentDef] = {
@@ -309,8 +338,21 @@ EXPERIMENTS: Dict[str, ExperimentDef] = {
             _ablations_cells,
             _run_ablations_cell,
         ),
+        ExperimentDef(
+            "scale",
+            "Scale — out-of-core pipeline on streamed R-MAT snapshots (time + peak RSS)",
+            _scale_cells,
+            _run_scale_cell,
+        ),
     )
 }
+
+# The experiments a plain ``run()`` / ``--experiment all`` executes.  The
+# ``scale`` tier is deliberately opt-in: its default cell streams a >=10M-edge
+# R-MAT graph to disk, which would dominate every routine suite invocation.
+DEFAULT_EXPERIMENTS: Tuple[str, ...] = tuple(
+    name for name in EXPERIMENTS if name != "scale"
+)
 
 
 def build_cells(
@@ -340,15 +382,29 @@ def run_cell(
 def _seed_shared_datasets(shared) -> None:
     """Seed this process's dataset cache from shared-memory descriptors.
 
-    ``shared`` maps ``(name, scale)`` to the :class:`~repro.mapreduce.shm.SharedArrayRef`
-    descriptors of a graph the parent already loaded and published.  The
-    worker reconstructs each graph as zero-copy views over the attached
-    segments (``CSRGraph`` keeps already-contiguous ``int64`` arrays as-is),
-    so ``load_dataset`` inside the cell is a pure memory hit — the parent's
-    single disk load is the only one of the whole run.  Idempotent: graphs
-    already resident in the cache are kept.
+    Two shapes, matching the regimes of ``SuiteRunner._publish_datasets``:
+
+    * ``{"dataset_dir": path}`` — disk-resident datasets: point this
+      process's cache at the parent's snapshot directory so ``load_dataset``
+      opens the files as read-only mmap views (one physical copy in the
+      page cache across all workers).  A user-pinned cache directory is
+      left alone.
+    * ``{(name, scale): refs}`` — memory-only regime: ``refs`` are the
+      :class:`~repro.mapreduce.shm.SharedArrayRef` descriptors of a graph
+      the parent published; the worker reconstructs zero-copy views over
+      the attached segments (``CSRGraph`` keeps already-contiguous ``int64``
+      arrays as-is), so ``load_dataset`` inside the cell is a pure memory
+      hit.  Idempotent: graphs already resident in the cache are kept.
     """
     if not shared:
+        return
+    if "dataset_dir" in shared:
+        from pathlib import Path
+
+        cache = dataset_cache()
+        target = Path(shared["dataset_dir"])
+        if not cache.pinned and cache.directory != target:
+            cache.set_directory(target)
         return
     from repro.graph.csr import CSRGraph
 
@@ -502,19 +558,36 @@ class SuiteRunner:
         return self._shm_pool
 
     def _publish_datasets(self, cells, scale: str):
-        """Publish every dataset the cells need into shared memory, once each.
+        """Make every dataset the cells need shareable across workers, once each.
 
-        The parent performs the single disk load (or build) per
-        ``(dataset, scale)`` here; workers only ever see descriptors.
+        Two zero-copy regimes, picked per run:
+
+        * **Disk-resident** (the dataset cache has a snapshot directory,
+          e.g. because this runner attached the store's ``datasets/``): the
+          parent builds/persists each graph once; workers then open the same
+          snapshot as read-only ``np.memmap`` views, so all processes share
+          one physical copy through the OS page cache.  Nothing crosses the
+          pool boundary at all.
+        * **Memory-only cache**: the parent loads each graph and publishes
+          its arrays into shared-memory segments; workers reconstruct
+          zero-copy views from the descriptors (never pickled arrays).
         """
-        shared: Dict[Tuple[str, str], Dict[str, shm.SharedArrayRef]] = {}
+        cache = dataset_cache()
+        needed = []
         for cell in cells:
             name = cell.dataset
             if name is None or name not in DATASETS:
                 continue
-            key = (name, scale)
+            if (name, scale) not in needed:
+                needed.append((name, scale))
+        if cache.directory is not None and cache.mmap:
+            for name, cell_scale in needed:
+                load_dataset(name, cell_scale)  # ensure the snapshot exists
+            return {"dataset_dir": str(cache.directory)}
+        shared: Dict[Tuple[str, str], Dict[str, shm.SharedArrayRef]] = {}
+        for key in needed:
             if key not in self._shared_datasets:
-                graph = load_dataset(name, scale)
+                graph = load_dataset(key[0], key[1])
                 arrays = {"indptr": graph.indptr, "indices": graph.indices}
                 if graph.weights is not None:
                     arrays["weights"] = graph.weights
@@ -564,7 +637,7 @@ class SuiteRunner:
         outcome order (and therefore row order) is the deterministic suite
         order, independent of ``jobs`` and of which cells were cached.
         """
-        names = list(experiments) if experiments is not None else list(EXPERIMENTS)
+        names = list(experiments) if experiments is not None else list(DEFAULT_EXPERIMENTS)
         if datasets is not None:
             for dataset in datasets:
                 if dataset not in DATASETS:

@@ -11,6 +11,7 @@ from repro.generators.mesh import cycle_graph, mesh_graph, path_graph, torus_gra
 from repro.generators.powerlaw import barabasi_albert_graph
 from repro.generators.random_graphs import erdos_renyi_graph, gnm_graph, random_regular_graph
 from repro.generators.rmat import rmat_graph
+from repro.generators.streaming import rmat_edge_chunks, rmat_to_snapshot
 from repro.generators.weights import WEIGHT_KINDS, attach_weights
 
 __all__ = [
@@ -28,6 +29,8 @@ __all__ = [
     "gnm_graph",
     "random_regular_graph",
     "rmat_graph",
+    "rmat_edge_chunks",
+    "rmat_to_snapshot",
     "WEIGHT_KINDS",
     "attach_weights",
 ]

@@ -22,8 +22,16 @@ from repro.graph.diameter_exact import (
     diameter_ifub,
     exact_diameter,
 )
-from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.ingest import from_edge_chunks, ingest_edge_list, largest_component_snapshot
+from repro.graph.io import (
+    iter_edge_list_chunks,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
 from repro.graph.properties import GraphSummary, degree_statistics, summarize_graph
+from repro.graph.snapshot import is_snapshot, load_snapshot, read_snapshot_header, save_snapshot
 from repro.graph.traversal import (
     UNREACHED,
     BFSResult,
@@ -51,10 +59,18 @@ __all__ = [
     "diameter_bounds",
     "diameter_ifub",
     "exact_diameter",
+    "from_edge_chunks",
+    "ingest_edge_list",
+    "largest_component_snapshot",
+    "iter_edge_list_chunks",
     "load_edge_list",
     "load_npz",
     "save_edge_list",
     "save_npz",
+    "is_snapshot",
+    "load_snapshot",
+    "read_snapshot_header",
+    "save_snapshot",
     "GraphSummary",
     "degree_statistics",
     "summarize_graph",

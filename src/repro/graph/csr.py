@@ -15,6 +15,15 @@ removal, duplicate folding (min weight wins), and IO are all shared here.
 
 Nodes are integers ``0 .. n-1``.  Edges are stored twice (once per endpoint),
 self-loops and parallel edges are removed at construction time.
+
+The substrate is storage-agnostic: the arrays may live in RAM or be read-only
+``np.memmap`` views over an on-disk snapshot
+(:mod:`repro.graph.snapshot` — see :meth:`CSRGraph.load` /
+:meth:`CSRGraph.save`), distinguished by the :attr:`CSRGraph.mode` surface
+(``"in_memory"`` / ``"mmap"``).  Every kernel and consumer treats the arrays
+as read-only, so mmap-backed graphs flow through decomposition, the MR plane,
+and the oracle builder unchanged; anything that needs a private mutable copy
+must take one explicitly (copy-on-write stays the caller's choice).
 """
 
 from __future__ import annotations
@@ -206,6 +215,49 @@ class CSRGraph:
     def _weights_required(cls) -> bool:
         """Whether this class mandates a weights array (overridden weighted)."""
         return False
+
+    # ------------------------------------------------------------------ #
+    # Snapshot IO (out-of-core storage surface)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path, *, mmap: bool = True) -> "CSRGraph":
+        """Open a graph snapshot written by :meth:`save` / the ingest plane.
+
+        With ``mmap=True`` (default) the CSR arrays are read-only
+        ``np.memmap`` views and the graph reports ``mode == "mmap"``; with
+        ``mmap=False`` they are materialized in RAM.  The returned class
+        matches the file contents (weighted snapshots yield
+        :class:`~repro.weighted.wgraph.WeightedCSRGraph`), independent of the
+        class this is called on.
+        """
+        from repro.graph.snapshot import load_snapshot
+
+        return load_snapshot(path, mmap=mmap)
+
+    def save(self, path) -> "Path":  # noqa: F821 - forward ref to pathlib.Path
+        """Write this graph as an atomic on-disk snapshot; returns the path."""
+        from repro.graph.snapshot import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @property
+    def mode(self) -> str:
+        """``"mmap"`` when any CSR array is a view over an ``np.memmap``."""
+        for array in (self.indptr, self.indices, self.weights):
+            candidate = array
+            while candidate is not None:
+                if isinstance(candidate, np.memmap):
+                    return "mmap"
+                candidate = getattr(candidate, "base", None)
+        return "in_memory"
+
+    def materialize(self) -> "CSRGraph":
+        """An in-memory copy of this graph (no-op copy for in-memory graphs)."""
+        return type(self)(
+            indptr=np.array(self.indptr, dtype=np.int64),
+            indices=np.array(self.indices, dtype=np.int64),
+            weights=None if self.weights is None else np.array(self.weights, dtype=np.float64),
+        )
 
     # ------------------------------------------------------------------ #
     # Basic accessors

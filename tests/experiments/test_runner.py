@@ -57,7 +57,13 @@ class TestDispatch:
             "figure1",
             "pipeline",
             "ablations",
+            "scale",
         }
+
+    def test_default_experiments_exclude_scale(self):
+        from repro.experiments.suite import DEFAULT_EXPERIMENTS
+
+        assert set(DEFAULT_EXPERIMENTS) == set(EXPERIMENTS) - {"scale"}
 
     def test_run_experiment_unknown(self):
         args = build_parser().parse_args(["table1"])

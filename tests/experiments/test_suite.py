@@ -172,7 +172,7 @@ class TestDatasetCache:
     def test_disk_round_trip(self, tmp_path):
         configure_dataset_cache(tmp_path / "cache")
         first = load_dataset("mesh", "small")
-        assert (tmp_path / "cache" / "mesh@small.npz").exists()
+        assert (tmp_path / "cache" / "mesh@small.snap").exists()
         d1 = reference_diameter("roads-PA-like", "small")
         # A fresh cache instance (same directory) must hit disk, not rebuild.
         configure_dataset_cache(tmp_path / "cache")
@@ -192,6 +192,7 @@ class TestDatasetCache:
         b = load_dataset("mesh", "small")  # reloaded from disk: equal, new object
         assert b is not a
         clear_dataset_cache(disk=True)
+        assert not list((tmp_path / "cache").glob("*.snap"))
         assert not list((tmp_path / "cache").glob("*.npz"))
         assert not list((tmp_path / "cache").glob("*.diameter.json"))
 
@@ -248,17 +249,17 @@ class TestSuiteRunner:
         # dataset cache into the first store's directory.
         with SuiteRunner(store=ArtifactStore(tmp_path / "a")) as runner:
             small_run(runner, experiments=["table1"], datasets=["mesh"])
-        assert (tmp_path / "a" / "datasets" / "mesh@small.npz").exists()
+        assert (tmp_path / "a" / "datasets" / "mesh@small.snap").exists()
         clear_dataset_cache()
         with SuiteRunner(store=ArtifactStore(tmp_path / "b")) as runner:
             small_run(runner, experiments=["table1"], datasets=["mesh"])
-        assert (tmp_path / "b" / "datasets" / "mesh@small.npz").exists()
+        assert (tmp_path / "b" / "datasets" / "mesh@small.snap").exists()
         # ...while an explicitly configured (pinned) directory is respected.
         configure_dataset_cache(tmp_path / "pinned")
         clear_dataset_cache()
         with SuiteRunner(store=ArtifactStore(tmp_path / "c")) as runner:
             small_run(runner, experiments=["table1"], datasets=["mesh"])
-        assert (tmp_path / "pinned" / "mesh@small.npz").exists()
+        assert (tmp_path / "pinned" / "mesh@small.snap").exists()
         assert not (tmp_path / "c" / "datasets").exists()
 
     def test_resume_recomputes_zero_cells(self, tmp_path):
@@ -348,17 +349,18 @@ class TestSharedDatasets:
 
         seeded = cache.seed("mesh", "small", build)
         assert seeded is built and calls["count"] == 1
-        # No .npz was written and nothing was read: seed is memory-only.
+        # No snapshot was written and nothing was read: seed is memory-only.
+        assert list(tmp_path.glob("*.snap")) == []
         assert list(tmp_path.glob("*.npz")) == []
         # A resident graph wins over a later seed (same-object semantics).
         other = object()
         assert cache.seed("mesh", "small", lambda: other) is built
         assert calls["count"] == 1
 
-    def test_jobs2_loads_each_dataset_from_disk_exactly_once(self, tmp_path, monkeypatch):
+    def test_jobs2_shares_disk_datasets_through_mmap_snapshots(self, tmp_path, monkeypatch):
         import os as os_module
 
-        import repro.graph.io as graph_io
+        import repro.graph.snapshot as snapshot_module
         from repro.mapreduce import shm
 
         datasets = ["mesh", "roads-PA-like"]
@@ -368,19 +370,19 @@ class TestSharedDatasets:
         with SuiteRunner(store=store) as runner:
             small_run(runner, experiments=["table1"], datasets=datasets)
         for name in datasets:
-            assert (store.datasets_dir / f"{name}@small.npz").exists()
+            assert (store.datasets_dir / f"{name}@small.snap").exists()
 
-        # Count every npz read, attributed to the reading process.  The patch
-        # must land before the pool forks so workers inherit it.
+        # Log every snapshot open, attributed to the opening process.  The
+        # patch must land before the pool forks so workers inherit it.
         log = tmp_path / "loads.log"
-        real_load = graph_io.load_npz
+        real_load = snapshot_module.load_snapshot
 
         def counting_load(path, *args, **kwargs):
             with open(log, "a") as handle:
-                handle.write(f"{os_module.getpid()} {path}\n")
+                handle.write(f"{os_module.getpid()} {kwargs.get('mmap', True)} {path}\n")
             return real_load(path, *args, **kwargs)
 
-        monkeypatch.setattr(graph_io, "load_npz", counting_load)
+        monkeypatch.setattr(snapshot_module, "load_snapshot", counting_load)
         clear_dataset_cache()
         with SuiteRunner(store=store, jobs=2) as runner:
             runner._ensure_pool()  # fork first: workers start with cold caches
@@ -388,16 +390,22 @@ class TestSharedDatasets:
         assert result.computed == len(result.outcomes)
 
         lines = log.read_text().splitlines() if log.exists() else []
-        by_dataset = {}
+        assert lines, "expected snapshot opens to be logged"
+        parent = os_module.getpid()
+        opens_by_process: dict = {}
         for line in lines:
-            pid, path = line.split(" ", 1)
-            by_dataset.setdefault(path, []).append(int(pid))
-        # Each dataset was read from disk exactly once, and only by the parent.
-        assert sorted(path.rsplit("/", 1)[-1] for path in by_dataset) == sorted(
-            f"{name}@small.npz" for name in datasets
-        )
-        for path, pids in by_dataset.items():
-            assert pids == [os_module.getpid()], path
+            pid, mmap_flag, path = line.split(" ", 2)
+            # Every open is a read-only mmap view: processes share the pages.
+            assert mmap_flag == "True", line
+            opens_by_process.setdefault((int(pid), path.rsplit("/", 1)[-1]), 0)
+            opens_by_process[(int(pid), path.rsplit("/", 1)[-1])] += 1
+        # The parent opened each dataset exactly once (while ensuring the
+        # snapshots exist); no process mapped the same file twice (the
+        # in-memory LRU layer works); nothing was shipped through shm.
+        for name in datasets:
+            assert opens_by_process.get((parent, f"{name}@small.snap")) == 1
+        for (pid, filename), count in opens_by_process.items():
+            assert count == 1, (pid, filename)
         assert shm.active_repro_segments() == []
         clear_dataset_cache()
         shm.detach_all()

@@ -1,0 +1,64 @@
+"""Streaming R-MAT emitter: determinism and equivalence to the batch builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.streaming import rmat_edge_chunks, rmat_to_snapshot
+from repro.graph.components import largest_component
+from repro.graph.csr import CSRGraph
+from repro.graph.snapshot import is_snapshot
+
+
+def _collect(scale, edge_factor, **kwargs):
+    return np.concatenate([edges for edges, _ in rmat_edge_chunks(scale, edge_factor, **kwargs)])
+
+
+class TestEdgeChunks:
+    def test_sample_count_and_range(self):
+        edges = _collect(6, 4, seed=1, chunk_edges=50)
+        assert edges.shape == (4 * 2**6, 2)
+        assert edges.min() >= 0 and edges.max() < 2**6
+
+    def test_deterministic_for_seed_and_chunk_size(self):
+        a = _collect(5, 8, seed=42, chunk_edges=33)
+        b = _collect(5, 8, seed=42, chunk_edges=33)
+        assert np.array_equal(a, b)
+
+    def test_chunk_size_is_part_of_sampling_contract(self):
+        # A different chunk size is a different (valid) sample, like reseeding.
+        a = _collect(5, 8, seed=42, chunk_edges=33)
+        b = _collect(5, 8, seed=42, chunk_edges=64)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            list(rmat_edge_chunks(0, 4))
+        with pytest.raises(ValueError):
+            list(rmat_edge_chunks(4, 4, a=0.9, b=0.9, c=0.9))
+        with pytest.raises(ValueError):
+            list(rmat_edge_chunks(4, 4, chunk_edges=0))
+
+
+class TestToSnapshot:
+    def test_matches_batch_build_of_same_sample(self, tmp_path):
+        edges = _collect(7, 6, seed=9, chunk_edges=100)
+        expected = CSRGraph.from_edges(edges, num_nodes=2**7)
+        graph, path = rmat_to_snapshot(
+            tmp_path / "g.snap", 7, 6, seed=9, chunk_edges=100
+        )
+        assert graph == expected
+        assert graph.mode == "mmap"
+        assert is_snapshot(path)
+
+    def test_connected_only_is_largest_component(self, tmp_path):
+        edges = _collect(7, 2, seed=3, chunk_edges=64)
+        full = CSRGraph.from_edges(edges, num_nodes=2**7)
+        expected, _ = largest_component(full)
+        graph, path = rmat_to_snapshot(
+            tmp_path / "lc.snap", 7, 2, seed=3, chunk_edges=64, connected_only=True
+        )
+        assert graph == expected
+        # The staged full-sample snapshot is cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["lc.snap"]

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.graph.io import (
+    iter_edge_list_chunks,
     load_edge_list,
     load_npz,
     parse_edge_list_text,
@@ -135,3 +136,57 @@ class TestRoundTrip:
         path.write_text("0 1 2.0\n1 2\n")
         with pytest.raises(ValueError):
             load_edge_list(path, weighted=True)
+
+
+class TestStreaming:
+    def test_chunks_cover_file_in_order(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n" + "".join(f"{i} {i + 1}\n" for i in range(25)))
+        chunks = list(iter_edge_list_chunks(path, chunk_edges=10))
+        assert [len(edges) for edges, _ in chunks] == [10, 10, 5]
+        stitched = np.concatenate([edges for edges, _ in chunks])
+        assert np.array_equal(stitched, parse_edge_list_text(path.read_text()))
+        assert all(weights is None for _, weights in chunks)
+
+    def test_chunk_boundary_exact_multiple(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(20)))
+        assert [len(e) for e, _ in iter_edge_list_chunks(path, chunk_edges=10)] == [10, 10]
+
+    def test_weighted_chunks(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("0 1 0.5\n1 2 1.5\n2 3 2.5\n")
+        chunks = list(iter_edge_list_chunks(path, chunk_edges=2, with_weights=True))
+        assert [w.tolist() for _, w in chunks] == [[0.5, 1.5], [2.5]]
+
+    def test_weighted_chunks_require_full_column(self, tmp_path):
+        path = tmp_path / "partial.txt"
+        path.write_text("0 1 0.5\n1 2\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_list_chunks(path, with_weights=True))
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_list_chunks(path, chunk_edges=0))
+
+
+class TestMaxEdgesGuard:
+    def test_over_limit_points_at_ingest(self, tmp_path):
+        path = tmp_path / "big.txt"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(10)))
+        with pytest.raises(ValueError, match="ingest_edge_list"):
+            load_edge_list(path, max_edges=5)
+
+    def test_at_limit_loads(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(5)))
+        graph, _ = load_edge_list(path, max_edges=5)
+        assert graph.num_edges == 5
+
+    def test_disabled_guard(self, tmp_path):
+        path = tmp_path / "any.txt"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(10)))
+        graph, _ = load_edge_list(path, max_edges=None)
+        assert graph.num_edges == 10
