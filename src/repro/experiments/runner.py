@@ -12,6 +12,8 @@ Usage (after installing the package)::
     python -m repro.experiments report --out results           # re-render, no recompute
     python -m repro.experiments serve --datasets mesh --scale small --out results
     python -m repro.experiments serve --query-log queries.log --out results
+    python -m repro.experiments serve --snapshot results/snapshots/<key>.npz
+    python -m repro.experiments reap-shm                       # unlink orphaned shm
 
 The ``serve`` subcommand drives the :mod:`repro.serving` plane: it builds the
 dataset's :class:`~repro.serving.GraphService` (or cold-starts it from a
@@ -25,7 +27,10 @@ params) executed serially by default or in parallel with ``--jobs N``
 (bit-identical rows either way).  With ``--out DIR`` an artifact store
 persists per-cell JSON results plus a run manifest; ``--resume`` serves
 unchanged cells from the store, and ``report`` regenerates the tables purely
-from stored artifacts.  Output is an aligned text table (or CSV with
+from stored artifacts.  Cells that keep failing after their retry budget
+(``--cell-retries``, optionally under a ``--cell-timeout`` wall clock) are
+quarantined into the manifest instead of aborting the run; the process exits
+1 so CI notices, and a later ``--resume`` re-executes exactly those cells.  Output is an aligned text table (or CSV with
 ``--csv``) whose columns mirror the corresponding artifact in the paper;
 EXPERIMENTS.md records a captured run side by side with the published
 numbers.
@@ -94,11 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "suite", "report", "serve"],
+        choices=sorted(EXPERIMENTS) + ["all", "suite", "report", "serve", "reap-shm"],
         help="which artifact to regenerate ('suite' = the full grid through "
              "the cell runner; 'report' = re-render tables from a stored run; "
              "'serve' = build/load a GraphService snapshot and replay a query "
-             "workload against it)",
+             "workload against it; 'reap-shm' = unlink shared-memory segments "
+             "orphaned by dead processes)",
     )
     parser.add_argument("--scale", default="default", choices=["default", "small", "xl"],
                         help="dataset scale (small = quick smoke run; xl = the "
@@ -125,10 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "the run manifest, and the dataset cache")
     parser.add_argument("--resume", action="store_true",
                         help="serve unchanged cells from the artifact store "
-                             "(requires --out); only new/changed cells recompute")
+                             "(requires --out); only new/changed cells — including "
+                             "previously quarantined failures — recompute")
+    parser.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget per cell attempt; a cell that "
+                             "exceeds it counts as one failed attempt "
+                             "(default: no timeout, or REPRO_SUITE_CELL_TIMEOUT)")
+    parser.add_argument("--cell-retries", type=int, default=None, metavar="N",
+                        help="re-run a failing cell up to N times before "
+                             "quarantining it into the manifest "
+                             "(default: 1, or REPRO_SUITE_CELL_RETRIES)")
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a text table")
     parser.add_argument("--verbose", action="store_true", help="enable progress logging")
     serve = parser.add_argument_group("serve", "options for the 'serve' subcommand")
+    serve.add_argument("--snapshot", default=None, metavar="FILE",
+                       help="cold-start the service directly from this oracle "
+                            "snapshot file (skips the dataset build entirely; "
+                            "a corrupt or truncated file exits 2)")
     serve.add_argument("--queries", type=_positive_int, default=100_000,
                        help="size of the synthetic workload when no --query-log "
                             "is given (default: 100000)")
@@ -157,35 +176,49 @@ def _run_serve(args) -> int:
         save_query_log,
         synthetic_workload,
     )
+    from repro.serving.snapshot import load_snapshot as load_oracle_snapshot
     from repro.serving.snapshot import snapshot_path
 
-    name = (args.datasets or ["mesh"])[0]
-    method = args.method if args.method is not None else "auto"
-    try:
-        graph = load_dataset(name, scale=args.scale)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    print(f"serve: dataset={name} scale={args.scale} "
-          f"nodes={graph.num_nodes} edges={graph.num_edges}")
+    if args.snapshot is not None:
+        # Direct cold start: one file, no dataset build, no store lookup.
+        # Any damage (torn write, bit flip, wrong schema) is one line + rc 2.
+        try:
+            service = load_oracle_snapshot(args.snapshot)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        graph = service.graph
+        print(f"serve: snapshot={args.snapshot} "
+              f"nodes={graph.num_nodes} edges={graph.num_edges}")
+        print("snapshot: loaded directly (cold start, no decomposition)")
+    else:
+        name = (args.datasets or ["mesh"])[0]
+        method = args.method if args.method is not None else "auto"
+        try:
+            graph = load_dataset(name, scale=args.scale)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"serve: dataset={name} scale={args.scale} "
+              f"nodes={graph.num_nodes} edges={graph.num_edges}")
 
-    try:
-        if args.out is not None:
-            store = ArtifactStore(args.out)
-            service, loaded = GraphService.load_or_build(
-                store, graph, tau=args.tau, seed=args.oracle_seed, method=method
-            )
-            origin = "loaded (cold start, no decomposition)" if loaded else "built and saved"
-            location = snapshot_path(store, service.snapshot_key)
-            print(f"snapshot: {origin} — {location}")
-        else:
-            service = GraphService.build(
-                graph, tau=args.tau, seed=args.oracle_seed, method=method
-            )
-            print("snapshot: none (in-memory build; pass --out DIR to persist)")
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        try:
+            if args.out is not None:
+                store = ArtifactStore(args.out)
+                service, loaded = GraphService.load_or_build(
+                    store, graph, tau=args.tau, seed=args.oracle_seed, method=method
+                )
+                origin = "loaded (cold start, no decomposition)" if loaded else "built and saved"
+                location = snapshot_path(store, service.snapshot_key)
+                print(f"snapshot: {origin} — {location}")
+            else:
+                service = GraphService.build(
+                    graph, tau=args.tau, seed=args.oracle_seed, method=method
+                )
+                print("snapshot: none (in-memory build; pass --out DIR to persist)")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     stats = service.stats()
     print(f"service: {stats['num_clusters']} clusters, method={stats['method']}, "
           f"tau={stats['tau']}, {stats['space_entries']:,} stored entries, "
@@ -228,6 +261,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         enable_verbose()
     if args.resume and args.out is None:
         parser.error("--resume requires --out DIR")
+    if args.experiment == "reap-shm":
+        from repro.mapreduce.shm import reap_orphans
+
+        reaped = reap_orphans()
+        for segment in reaped:
+            print(f"reaped {segment}")
+        print(f"reap-shm: unlinked {len(reaped)} orphaned segment(s)")
+        return 0
     if args.experiment == "serve":
         return _run_serve(args)
     if args.experiment == "report":
@@ -251,7 +292,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     store = ArtifactStore(args.out) if args.out is not None else None
     runner = SuiteRunner(
-        store=store, config=_config_for(args), jobs=args.jobs, resume=args.resume
+        store=store,
+        config=_config_for(args),
+        jobs=args.jobs,
+        resume=args.resume,
+        cell_timeout=args.cell_timeout,
+        cell_retries=args.cell_retries,
     )
     try:
         with runner:
@@ -267,18 +313,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         outcomes = result.outcomes_for(name)
         computed = sum(1 for o in outcomes if o.status == "computed")
-        cached = len(outcomes) - computed
+        failed = sum(1 for o in outcomes if o.status == "failed")
+        cached = len(outcomes) - computed - failed
         elapsed = sum(o.elapsed_s for o in outcomes if o.status == "computed")
         summary = (
             f"[{name}: {len(outcomes)} cells, {computed} computed, "
-            f"{cached} cached, {elapsed:.1f}s]\n\n"
+            f"{cached} cached, {failed} failed, {elapsed:.1f}s]\n\n"
         )
         _render(args, name, result.rows_for(name), summary)
     if not args.csv and store is not None:
         sys.stdout.write(
             f"[suite manifest: {store.manifest_path} — "
-            f"{result.computed} computed, {result.cached} cached]\n"
+            f"{result.computed} computed, {result.cached} cached, "
+            f"{result.failed} failed]\n"
         )
+    if result.failed:
+        quarantined = ", ".join(o.cell.cell_id for o in result.outcomes if o.status == "failed")
+        print(
+            f"warning: {result.failed} cell(s) quarantined after exhausting retries "
+            f"({quarantined}); re-run with --resume to retry them",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -43,7 +43,11 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
+from repro.utils.logging import get_logger
+
 PathLike = Union[str, os.PathLike]
+
+_LOG = get_logger("experiments.store")
 
 STORE_SCHEMA = 1
 
@@ -222,7 +226,10 @@ class DatasetCache:
 
         Disk hits come back as read-only mmap views when the cache was
         constructed with ``mmap=True``; a legacy ``.npz`` entry is read once
-        and migrated forward to the snapshot format.
+        and migrated forward to the snapshot format.  Disk entries are loaded
+        with ``verify="auto"`` so a version-2 snapshot whose checksum trailer
+        disagrees with its payload is treated as corrupt: the cache logs a
+        warning and rebuilds over it instead of serving damaged arrays.
         """
         key = (name, scale)
         hit = self._graphs.get(key)
@@ -236,9 +243,12 @@ class DatasetCache:
             path = self._graph_path(name, scale)
             if path.exists():
                 try:
-                    graph = load_snapshot(path, mmap=self.mmap)
-                except (OSError, ValueError):
-                    graph = None  # corrupt cache file: fall through to a rebuild
+                    graph = load_snapshot(path, mmap=self.mmap, verify="auto")
+                except (OSError, ValueError) as exc:
+                    # Corrupt cache file: warn and fall through to a rebuild
+                    # that overwrites it.
+                    _LOG.warning("dataset cache entry %s is corrupt (%s); rebuilding", path, exc)
+                    graph = None
             if graph is None:
                 legacy = self._legacy_graph_path(name, scale)
                 if legacy.exists():
@@ -250,7 +260,7 @@ class DatasetCache:
                         migrated = None
                     if migrated is not None:
                         save_snapshot(migrated, path)  # atomic; races benignly
-                        graph = load_snapshot(path, mmap=self.mmap)
+                        graph = self._reload_saved(path, migrated)
         if graph is None:
             graph = build()
             if self._directory is not None:
@@ -259,11 +269,39 @@ class DatasetCache:
                 if self.mmap:
                     # Serve the disk-backed views immediately so even the
                     # building process shares pages with its siblings.
-                    graph = load_snapshot(path, mmap=True)
+                    graph = self._reload_saved(path, graph)
         self._graphs[key] = graph
         while len(self._graphs) > self.memory_items:
             self._graphs.popitem(last=False)
         return graph
+
+    def _reload_saved(self, path: Path, fallback):
+        """Reload a graph we just saved to ``path``; degrade on corruption.
+
+        The save itself is atomic, but the bytes can still be damaged at rest
+        (or by an injected ``graph.snapshot`` file fault) before we map them.
+        One re-save is attempted; if the reloaded copy still fails
+        verification the in-memory ``fallback`` graph is served so the caller
+        always gets correct arrays — merely without page sharing.
+        """
+        from repro.graph.snapshot import load_snapshot, save_snapshot
+
+        for attempt in range(2):
+            try:
+                return load_snapshot(path, mmap=self.mmap, verify="auto")
+            except (OSError, ValueError) as exc:
+                _LOG.warning(
+                    "freshly saved dataset snapshot %s failed to load back (%s); %s",
+                    path,
+                    exc,
+                    "re-saving once" if attempt == 0 else "serving the in-memory graph",
+                )
+                if attempt == 0:
+                    try:
+                        save_snapshot(fallback, path)
+                    except OSError:
+                        break
+        return fallback
 
     def seed(self, name: str, scale: str, build: Callable[[], object]):
         """Insert a graph into the in-memory layer without consulting disk.

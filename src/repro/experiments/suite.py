@@ -36,10 +36,15 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
+import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.experiments import (
     ablations,
     figure1,
@@ -53,8 +58,11 @@ from repro.experiments import (
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.datasets import DATASETS, dataset_cache, dataset_names, load_dataset
 from repro.experiments.store import ArtifactStore, to_jsonable
-from repro.mapreduce.backends import fork_available, shutdown_pool
+from repro.mapreduce.backends import _pool_pids, fork_available, shutdown_pool
 from repro.mapreduce import shm
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("experiments.suite")
 
 __all__ = [
     "ExperimentCell",
@@ -65,6 +73,7 @@ __all__ = [
     "CellOutcome",
     "EXPERIMENTS",
     "DEFAULT_EXPERIMENTS",
+    "CellTimeoutError",
     "build_cells",
     "run_cell",
     "deterministic_view",
@@ -434,9 +443,64 @@ def _execute_cell_task(task) -> Tuple[List[Dict], float]:
         _seed_shared_datasets(shared)
     else:
         cell, scale, config = task
+    faults.inject(f"suite.cell:{cell.cell_id}")
     start = time.perf_counter()
     rows = run_cell(cell, scale, config)
     return rows, time.perf_counter() - start
+
+
+class CellTimeoutError(Exception):
+    """A cell ran past the suite's per-cell wall-clock budget."""
+
+
+@contextmanager
+def _cell_alarm(timeout: Optional[float]):
+    """Raise :class:`CellTimeoutError` in the running cell after ``timeout``.
+
+    ``SIGALRM``-based, so it interrupts a cell stuck in a pure-Python loop.
+    Pool tasks run in the worker's main thread, where signal delivery works;
+    anywhere else (a non-main thread, a platform without ``setitimer``) the
+    budget silently degrades to unenforced rather than breaking execution.
+    """
+    usable = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(f"cell exceeded the {timeout:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_cell_task_safe(task) -> Tuple[str, object, float]:
+    """Quarantining wrapper around :func:`_execute_cell_task`.
+
+    ``task`` is ``(inner_task, timeout)``.  Returns ``("ok", rows, elapsed)``
+    or ``("failed", traceback_text, elapsed)`` — a failing or timed-out cell
+    becomes data instead of an exception, so one bad cell can never abort
+    the surrounding suite run (and, as a pool task, never poisons
+    ``pool.map``-style batching for its neighbours).
+    """
+    inner, timeout = task
+    start = time.perf_counter()
+    try:
+        with _cell_alarm(timeout):
+            rows, elapsed = _execute_cell_task(inner)
+        return ("ok", rows, elapsed)
+    except Exception:
+        return ("failed", traceback.format_exc(limit=20), time.perf_counter() - start)
 
 
 # ---------------------------------------------------------------------- #
@@ -444,13 +508,22 @@ def _execute_cell_task(task) -> Tuple[List[Dict], float]:
 # ---------------------------------------------------------------------- #
 @dataclass
 class CellOutcome:
-    """One cell's result within a suite run."""
+    """One cell's result within a suite run.
+
+    ``status`` is ``"computed"``, ``"cached"``, or ``"failed"`` —
+    quarantined after exhausting the runner's per-cell retry budget, with
+    the last traceback in ``error`` and the attempt count in ``attempts``.
+    Failed cells are *not* persisted to the store, so a later ``--resume``
+    run re-executes exactly them.
+    """
 
     cell: ExperimentCell
     key: str
-    status: str  # "computed" | "cached"
+    status: str  # "computed" | "cached" | "failed"
     rows: List[Dict]
     elapsed_s: float
+    attempts: int = 1
+    error: Optional[str] = None
 
 
 @dataclass
@@ -467,6 +540,10 @@ class SuiteResult:
     @property
     def cached(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.status == "cached")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "failed")
 
     def experiments(self) -> List[str]:
         names: List[str] = []
@@ -513,6 +590,14 @@ class SuiteRunner:
     resume:
         Serve cells whose content key already exists in the store instead of
         recomputing them.  Requires ``store``.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds; a cell running past it is
+        interrupted (``SIGALRM``) and treated like a failed attempt.
+        ``None`` (the default, or ``REPRO_SUITE_CELL_TIMEOUT``) disables it.
+    cell_retries:
+        How many times a failing cell is re-executed before being
+        quarantined as ``status="failed"`` (the run itself never aborts).
+        Defaults to ``REPRO_SUITE_CELL_RETRIES`` or 1.
     """
 
     def __init__(
@@ -522,6 +607,8 @@ class SuiteRunner:
         config: ExperimentConfig = DEFAULT_CONFIG,
         jobs: int = 1,
         resume: bool = False,
+        cell_timeout: Optional[float] = None,
+        cell_retries: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -531,6 +618,13 @@ class SuiteRunner:
         self.config = config
         self.jobs = int(jobs)
         self.resume = bool(resume)
+        if cell_timeout is None:
+            raw_timeout = os.environ.get("REPRO_SUITE_CELL_TIMEOUT", "")
+            cell_timeout = float(raw_timeout) if raw_timeout else None
+        self.cell_timeout = cell_timeout if cell_timeout and cell_timeout > 0 else None
+        if cell_retries is None:
+            cell_retries = int(os.environ.get("REPRO_SUITE_CELL_RETRIES", 1))
+        self.cell_retries = max(0, int(cell_retries))
         self._fork_available = fork_available()
         self._pool = None
         self._shm_pool: Optional[shm.SharedArrayPool] = None
@@ -616,11 +710,168 @@ class SuiteRunner:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _rebuild_pool(self) -> None:
+        """Terminate a pool with dead/hung workers; the next use re-forks it."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
+            if time is None or multiprocessing is None:  # interpreter teardown
+                return
             self.close()
-        except Exception:
+        except BaseException:
             pass
+
+    # ------------------------------------------------------------------ #
+    # Pending-cell execution (quarantine semantics)
+    # ------------------------------------------------------------------ #
+    def _run_pending_serial(self, pending, scale: str) -> Dict[int, CellOutcome]:
+        """Execute pending cells in-process with per-cell retries + timeout."""
+        executed: Dict[int, CellOutcome] = {}
+        for index, cell, key in pending:
+            task = (cell, scale, self.config)
+            status, payload, elapsed = "failed", "cell was never attempted", 0.0
+            for attempt in range(1, self.cell_retries + 2):
+                status, payload, elapsed = _execute_cell_task_safe((task, self.cell_timeout))
+                if status == "ok":
+                    executed[index] = CellOutcome(
+                        cell, key, "computed", payload, elapsed, attempts=attempt
+                    )
+                    break
+                _LOG.warning(
+                    "cell %s attempt %d/%d failed",
+                    cell.cell_id,
+                    attempt,
+                    self.cell_retries + 1,
+                )
+            if status != "ok":
+                executed[index] = CellOutcome(
+                    cell,
+                    key,
+                    "failed",
+                    [],
+                    elapsed,
+                    attempts=self.cell_retries + 1,
+                    error=str(payload),
+                )
+        return executed
+
+    def _run_pending_parallel(self, pending, scale: str, shared) -> Dict[int, CellOutcome]:
+        """Execute pending cells over the pool, surviving worker loss.
+
+        Cells are submitted individually (``apply_async``) so one slow or
+        crashing cell never stalls a batch.  A cell whose wrapper reports
+        failure is resubmitted until its retry budget is spent, then
+        quarantined.  A *dead worker* (SIGKILL — its task will simply never
+        return, and the pool's maintainer thread silently respawns the
+        worker) is detected by polling the worker pid set; the pool is then
+        rebuilt and every in-flight cell resubmitted.  Crash resubmissions
+        are budgeted separately from failure retries (``cell_retries + 1``
+        pool losses per cell) so a genuinely crashy cell converges to
+        quarantine instead of looping, while innocent cells that merely
+        shared the pool with a crash are not charged a failed attempt.
+        """
+        executed: Dict[int, CellOutcome] = {}
+        pool = self._ensure_pool()
+        if not hasattr(pool, "apply_async"):  # duck-typed pool stubs (tests)
+            tasks = [
+                ((cell, scale, self.config, shared), self.cell_timeout)
+                for _, cell, _ in pending
+            ]
+            for (index, cell, key), (status, payload, elapsed) in zip(
+                pending, pool.map(_execute_cell_task_safe, tasks)
+            ):
+                if status == "ok":
+                    executed[index] = CellOutcome(cell, key, "computed", payload, elapsed)
+                else:
+                    executed[index] = CellOutcome(
+                        cell, key, "failed", [], elapsed, error=str(payload)
+                    )
+            return executed
+        attempts: Dict[int, int] = {index: 0 for index, _, _ in pending}
+        losses: Dict[int, int] = {index: 0 for index, _, _ in pending}
+        queue: List[Tuple[int, ExperimentCell, str]] = list(pending)
+        inflight: Dict[int, Tuple[object, ExperimentCell, str]] = {}
+        baseline = _pool_pids(pool)
+        while queue or inflight:
+            while queue:
+                index, cell, key = queue.pop(0)
+                attempts[index] += 1
+                task = ((cell, scale, self.config, shared), self.cell_timeout)
+                inflight[index] = (
+                    pool.apply_async(_execute_cell_task_safe, (task,)),
+                    cell,
+                    key,
+                )
+            time.sleep(0.02)
+            for index in list(inflight):
+                result, cell, key = inflight[index]
+                if not result.ready():
+                    continue
+                del inflight[index]
+                try:
+                    status, payload, elapsed = result.get()
+                except Exception:  # wrapper never raises; belt and braces
+                    status, payload, elapsed = "failed", traceback.format_exc(limit=20), 0.0
+                if status == "ok":
+                    executed[index] = CellOutcome(
+                        cell, key, "computed", payload, elapsed, attempts=attempts[index]
+                    )
+                elif attempts[index] <= self.cell_retries:
+                    _LOG.warning(
+                        "cell %s attempt %d/%d failed; retrying",
+                        cell.cell_id,
+                        attempts[index],
+                        self.cell_retries + 1,
+                    )
+                    queue.append((index, cell, key))
+                else:
+                    executed[index] = CellOutcome(
+                        cell,
+                        key,
+                        "failed",
+                        [],
+                        elapsed,
+                        attempts=attempts[index],
+                        error=str(payload),
+                    )
+            if not inflight:
+                continue
+            workers = list(getattr(pool, "_pool", None) or [])
+            if _pool_pids(pool) != baseline or any(
+                worker.exitcode is not None for worker in workers
+            ):
+                _LOG.warning(
+                    "suite pool lost a worker with %d cell(s) in flight; "
+                    "rebuilding pool and resubmitting",
+                    len(inflight),
+                )
+                for index in list(inflight):
+                    _, cell, key = inflight.pop(index)
+                    losses[index] += 1
+                    attempts[index] -= 1  # a pool loss is not the cell's failure
+                    if losses[index] <= self.cell_retries + 1:
+                        queue.append((index, cell, key))
+                    else:
+                        executed[index] = CellOutcome(
+                            cell,
+                            key,
+                            "failed",
+                            [],
+                            0.0,
+                            attempts=attempts[index] + losses[index],
+                            error="worker process died repeatedly while executing this cell",
+                        )
+                self._rebuild_pool()
+                pool = self._ensure_pool()
+                baseline = _pool_pids(pool)
+        return executed
 
     # ------------------------------------------------------------------ #
     def run(
@@ -687,14 +938,21 @@ class SuiteRunner:
                 # Load every needed dataset once in the parent and publish it
                 # into shared memory; tasks carry descriptors, not arrays.
                 shared = self._publish_datasets([cell for _, cell, _ in pending], scale)
-                tasks = [(cell, scale, self.config, shared) for _, cell, _ in pending]
-                results = self._ensure_pool().map(_execute_cell_task, tasks)
+                executed = self._run_pending_parallel(pending, scale, shared)
             else:
-                tasks = [(cell, scale, self.config) for _, cell, _ in pending]
-                results = [_execute_cell_task(task) for task in tasks]
-            for (index, cell, key), (rows, elapsed) in zip(pending, results):
-                outcomes[index] = CellOutcome(cell, key, "computed", rows, elapsed)
-                if self.store is not None:
+                executed = self._run_pending_serial(pending, scale)
+            for index, cell, key in pending:
+                outcome = executed[index]
+                outcomes[index] = outcome
+                if outcome.status == "failed":
+                    _LOG.warning(
+                        "cell %s quarantined after %d attempt(s)",
+                        cell.cell_id,
+                        outcome.attempts,
+                    )
+                # Failed cells are never persisted: their absence from the
+                # store is what makes --resume re-execute exactly them.
+                if outcome.status == "computed" and self.store is not None:
                     self.store.save_cell(
                         cell.experiment,
                         key,
@@ -704,8 +962,8 @@ class SuiteRunner:
                             "dataset": cell.dataset,
                             "params": [[k, v] for k, v in cell.params],
                             "scale": scale,
-                            "elapsed_s": round(elapsed, 4),
-                            "rows": rows,
+                            "elapsed_s": round(outcome.elapsed_s, 4),
+                            "rows": outcome.rows,
                         },
                     )
 
@@ -735,6 +993,9 @@ class SuiteRunner:
             "config": dataclasses.asdict(self.config),
             "computed": sum(1 for o in outcomes if o.status == "computed"),
             "cached": sum(1 for o in outcomes if o.status == "cached"),
+            "failed": sum(1 for o in outcomes if o.status == "failed"),
+            "cell_timeout": self.cell_timeout,
+            "cell_retries": self.cell_retries,
             "total_elapsed_s": round(total_elapsed, 3),
             "cells": [
                 {
@@ -746,6 +1007,8 @@ class SuiteRunner:
                     "status": outcome.status,
                     "rows": len(outcome.rows),
                     "elapsed_s": round(outcome.elapsed_s, 4),
+                    "attempts": outcome.attempts,
+                    "error": outcome.error,
                 }
                 for outcome in outcomes
             ],

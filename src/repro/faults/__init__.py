@@ -1,0 +1,44 @@
+"""Seeded, deterministic fault injection for the execution planes.
+
+Public surface re-exported from :mod:`repro.faults.plan`:
+
+- :class:`FaultSpec` / :class:`FaultPlan` — declare *what* fails *where*,
+  and install the plan into ``REPRO_FAULT_PLAN`` so child processes
+  inherit it.
+- :func:`inject` — called by instrumented code at named sites; fires
+  ``kill`` / ``hang`` / ``error`` faults.
+- :func:`corrupt_file` — post-write file corruption (``torn_write`` /
+  ``bitflip``) at named sites.
+- :class:`FaultInjected` — the ``OSError`` subclass raised by ``error``
+  faults.
+
+With no plan installed every hook is a single ``os.environ`` lookup.
+"""
+
+from repro.faults.plan import (
+    ENV_VAR,
+    FAULT_KINDS,
+    FILE_FAULT_KINDS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_installed,
+    corrupt_file,
+    inject,
+    reset_state,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FILE_FAULT_KINDS",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "clear_installed",
+    "corrupt_file",
+    "inject",
+    "reset_state",
+]

@@ -220,7 +220,7 @@ class CSRGraph:
     # Snapshot IO (out-of-core storage surface)
     # ------------------------------------------------------------------ #
     @classmethod
-    def load(cls, path, *, mmap: bool = True) -> "CSRGraph":
+    def load(cls, path, *, mmap: bool = True, verify=False) -> "CSRGraph":
         """Open a graph snapshot written by :meth:`save` / the ingest plane.
 
         With ``mmap=True`` (default) the CSR arrays are read-only
@@ -232,7 +232,7 @@ class CSRGraph:
         """
         from repro.graph.snapshot import load_snapshot
 
-        return load_snapshot(path, mmap=mmap)
+        return load_snapshot(path, mmap=mmap, verify=verify)
 
     def save(self, path) -> "Path":  # noqa: F821 - forward ref to pathlib.Path
         """Write this graph as an atomic on-disk snapshot; returns the path."""

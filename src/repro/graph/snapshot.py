@@ -10,16 +10,25 @@ OS page cache (the disk-resident analogue of the shared-memory data plane in
 Layout (all integers little-endian)::
 
     bytes 0..7    magic  b"REPROGS\\0"
-    bytes 8..11   format version (uint32; currently 1)
+    bytes 8..11   format version (uint32; currently 2)
     bytes 12..15  header length in bytes (uint32)
     bytes 16..    header JSON (utf-8), then zero padding to a 64-byte boundary
     ...           array payloads, each starting on a 64-byte boundary
+    ...           (v2 only) checksum trailer: magic b"RGCKSUM\\0", JSON length
+                  (uint32), then JSON ``{"algo": "crc32", "arrays": {name: crc}}``
 
 The JSON header records ``num_nodes`` / ``num_arcs`` / ``endianness`` plus a
 per-array table of ``{dtype, shape, offset}`` entries for ``indptr`` (int64,
 ``n + 1``), ``indices`` (int64, ``2m``) and the optional ``weights`` (float64,
 ``2m``).  Payloads are the raw C-contiguous array bytes; 64-byte alignment
 keeps the mapped views SIMD- and shm-friendly.
+
+Version 2 appends a per-array CRC-32 trailer after the payloads, so readers
+can detect bit-flips and short writes (``load_snapshot(..., verify=True)``)
+without changing the payload layout at all — the trailer sits past every
+array, mapped views are byte-identical to v1, and v1 files (no trailer)
+remain fully readable.  Verification is opt-in because a full-payload read
+defeats the point of lazily mapping a 100M-edge graph.
 
 Writes are atomic (temp file in the destination directory + ``os.replace``)
 so a crashed writer never leaves a half-written snapshot behind, and
@@ -35,17 +44,23 @@ from __future__ import annotations
 import json
 import os
 import secrets
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro import faults
+
 PathLike = Union[str, os.PathLike]
 
 MAGIC = b"REPROGS\x00"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 _ALIGN = 64
 _PREAMBLE = 16  # magic + version + header length
+_TRAILER_MAGIC = b"RGCKSUM\x00"
+_CRC_CHUNK = 1 << 22  # 4 MiB read blocks for checksum passes
 
 #: dtype codes stored in the header (explicitly little-endian on disk).
 _INDPTR_DTYPE = "<i8"
@@ -55,8 +70,10 @@ _WEIGHTS_DTYPE = "<f8"
 __all__ = [
     "MAGIC",
     "SNAPSHOT_VERSION",
+    "SUPPORTED_VERSIONS",
     "SnapshotWriter",
     "read_snapshot_header",
+    "read_snapshot_checksums",
     "save_snapshot",
     "load_snapshot",
     "is_snapshot",
@@ -73,7 +90,9 @@ def _temp_path(path: Path) -> Path:
     return path.with_name(f".{path.name}.{os.getpid()}.{secrets.token_hex(4)}.tmp")
 
 
-def _build_header(num_nodes: int, num_arcs: int, weighted: bool) -> Dict:
+def _build_header(
+    num_nodes: int, num_arcs: int, weighted: bool, version: int = SNAPSHOT_VERSION
+) -> Dict:
     arrays: Dict[str, Dict] = {}
     offset = 0  # filled in below, relative to the payload base
     for name, dtype, length in (
@@ -85,7 +104,7 @@ def _build_header(num_nodes: int, num_arcs: int, weighted: bool) -> Dict:
         offset = _aligned(offset + length * 8)
     return {
         "format": "repro.graph.snapshot",
-        "version": SNAPSHOT_VERSION,
+        "version": int(version),
         "endianness": "little",
         "num_nodes": int(num_nodes),
         "num_arcs": int(num_arcs),
@@ -99,7 +118,7 @@ def _encode_header(header: Dict) -> bytes:
     blob = json.dumps(header, sort_keys=True).encode("utf-8")
     preamble = (
         MAGIC
-        + int(SNAPSHOT_VERSION).to_bytes(4, "little")
+        + int(header.get("version", SNAPSHOT_VERSION)).to_bytes(4, "little")
         + len(blob).to_bytes(4, "little")
     )
     head = preamble + blob
@@ -119,10 +138,10 @@ def read_snapshot_header(path: PathLike) -> Dict:
         if len(preamble) < _PREAMBLE or preamble[:8] != MAGIC:
             raise ValueError(f"{path}: not a repro graph snapshot (bad magic)")
         version = int.from_bytes(preamble[8:12], "little")
-        if version != SNAPSHOT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"{path}: unsupported snapshot version {version} "
-                f"(this build reads version {SNAPSHOT_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         header_len = int.from_bytes(preamble[12:16], "little")
         blob = handle.read(header_len)
@@ -136,8 +155,79 @@ def read_snapshot_header(path: PathLike) -> Dict:
         raise ValueError(f"{path}: unknown snapshot format {header.get('format')!r}")
     if header.get("endianness") != "little":
         raise ValueError(f"{path}: unsupported endianness {header.get('endianness')!r}")
+    header["version"] = version  # the preamble is authoritative
     header["data_offset"] = _aligned(_PREAMBLE + header_len)
     return header
+
+
+def _crc32_region(handle, offset: int, nbytes: int) -> int:
+    """Chunked CRC-32 of ``nbytes`` starting at ``offset`` in an open file."""
+    handle.seek(offset)
+    crc = 0
+    remaining = int(nbytes)
+    while remaining > 0:
+        block = handle.read(min(_CRC_CHUNK, remaining))
+        if not block:
+            raise ValueError("unexpected end of file inside an array payload")
+        crc = zlib.crc32(block, crc)
+        remaining -= len(block)
+    return crc & 0xFFFFFFFF
+
+
+def _region_nbytes(spec: Dict) -> int:
+    dtype = np.dtype(spec["dtype"])
+    return int(dtype.itemsize * int(np.prod(spec["shape"], dtype=np.int64)))
+
+
+def read_snapshot_checksums(path: PathLike, header: Optional[Dict] = None) -> Optional[Dict[str, int]]:
+    """The per-array CRC-32 map from a snapshot's v2 trailer.
+
+    Returns ``None`` for version-1 snapshots (no trailer exists); raises
+    ``ValueError`` for a version-2 snapshot whose trailer is missing or
+    unreadable — in v2 the trailer is part of the format, so its absence is
+    itself corruption (e.g. a short write that lost the file's tail).
+    """
+    path = Path(path)
+    if header is None:
+        header = read_snapshot_header(path)
+    if header["version"] < 2:
+        return None
+    trailer_offset = header["data_offset"] + int(header["payload_bytes"])
+    with open(path, "rb") as handle:
+        handle.seek(trailer_offset)
+        preamble = handle.read(len(_TRAILER_MAGIC) + 4)
+        if len(preamble) < len(_TRAILER_MAGIC) + 4 or preamble[: len(_TRAILER_MAGIC)] != _TRAILER_MAGIC:
+            raise ValueError(f"{path}: missing checksum trailer (truncated snapshot?)")
+        blob_len = int.from_bytes(preamble[len(_TRAILER_MAGIC):], "little")
+        blob = handle.read(blob_len)
+    if len(blob) != blob_len:
+        raise ValueError(f"{path}: truncated checksum trailer")
+    try:
+        trailer = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: corrupt checksum trailer") from exc
+    if trailer.get("algo") != "crc32":
+        raise ValueError(f"{path}: unknown checksum algorithm {trailer.get('algo')!r}")
+    return {name: int(crc) for name, crc in trailer["arrays"].items()}
+
+
+def _verify_payloads(path: Path, header: Dict, checksums: Dict[str, int]) -> None:
+    """Compare every array region against its trailer CRC; raise on mismatch."""
+    base = header["data_offset"]
+    with open(path, "rb") as handle:
+        for name, spec in header["arrays"].items():
+            expected = checksums.get(name)
+            if expected is None:
+                raise ValueError(f"{path}: checksum trailer is missing array {name!r}")
+            try:
+                actual = _crc32_region(handle, base + spec["offset"], _region_nbytes(spec))
+            except ValueError as exc:
+                raise ValueError(f"{path}: array {name!r} is truncated") from exc
+            if actual != expected:
+                raise ValueError(
+                    f"{path}: checksum mismatch in array {name!r} "
+                    f"(expected {expected:#010x}, found {actual:#010x})"
+                )
 
 
 def is_snapshot(path: PathLike) -> bool:
@@ -160,12 +250,26 @@ class SnapshotWriter:
     manager to get abort-on-exception for free.
     """
 
-    def __init__(self, path: PathLike, num_nodes: int, num_arcs: int, *, weighted: bool = False) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        num_nodes: int,
+        num_arcs: int,
+        *,
+        weighted: bool = False,
+        version: int = SNAPSHOT_VERSION,
+    ) -> None:
         if num_nodes < 0 or num_arcs < 0:
             raise ValueError("num_nodes and num_arcs must be non-negative")
+        if version not in SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"cannot write snapshot version {version}; supported: {SUPPORTED_VERSIONS}"
+            )
         self.path = Path(path)
-        self.header = _build_header(num_nodes, num_arcs, weighted)
+        self.version = int(version)
+        self.header = _build_header(num_nodes, num_arcs, weighted, version)
         head = _encode_header(self.header)
+        self._data_offset = len(head)
         self._tmp: Optional[Path] = _temp_path(self.path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self._tmp, "wb") as handle:
@@ -194,14 +298,34 @@ class SnapshotWriter:
         return self._maps.get("weights")
 
     def finalize(self) -> Path:
-        """Flush every view and atomically move the snapshot into place."""
+        """Flush every view, append the v2 checksum trailer, and atomically
+        move the snapshot into place."""
         if self._tmp is None:
             raise RuntimeError("snapshot writer already finalized or aborted")
         for view in self._maps.values():
             view.flush()
         self._maps.clear()
+        if self.version >= 2:
+            # CRC the payload regions as written on disk (chunked, so a
+            # 100M-edge streaming build never holds an array in memory) and
+            # append the trailer past the last payload byte.
+            base = self._data_offset
+            with open(self._tmp, "r+b") as handle:
+                checksums = {
+                    name: _crc32_region(handle, base + spec["offset"], _region_nbytes(spec))
+                    for name, spec in self.header["arrays"].items()
+                }
+                blob = json.dumps(
+                    {"algo": "crc32", "arrays": checksums}, sort_keys=True
+                ).encode("utf-8")
+                handle.seek(base + int(self.header["payload_bytes"]))
+                handle.write(_TRAILER_MAGIC + len(blob).to_bytes(4, "little") + blob)
         os.replace(self._tmp, self.path)
         self._tmp = None
+        # Chaos hook: simulated post-write corruption (torn write / bit
+        # flip) lands *after* the atomic rename, exactly like real
+        # at-rest corruption the rename cannot protect against.
+        faults.corrupt_file("graph.snapshot", self.path)
         return self.path
 
     def abort(self) -> None:
@@ -225,17 +349,20 @@ class SnapshotWriter:
             pass
 
 
-def save_snapshot(graph, path: PathLike) -> Path:
+def save_snapshot(graph, path: PathLike, *, version: int = SNAPSHOT_VERSION) -> Path:
     """Write ``graph`` as a snapshot file (atomic); returns the final path.
 
     The arrays are dumped as-is — a graph loaded back from the file is
     bit-identical to ``graph`` (same ``indptr``/``indices``/``weights``).
+    ``version=1`` writes the legacy trailer-less layout (compat tooling and
+    tests); the default v2 appends the per-array checksum trailer.
     """
     writer = SnapshotWriter(
         path,
         graph.num_nodes,
         graph.num_directed_edges,
         weighted=graph.weights is not None,
+        version=version,
     )
     try:
         writer.indptr[:] = graph.indptr
@@ -248,7 +375,7 @@ def save_snapshot(graph, path: PathLike) -> Path:
         raise
 
 
-def load_snapshot(path: PathLike, *, mmap: bool = True):
+def load_snapshot(path: PathLike, *, mmap: bool = True, verify=False):
     """Open a snapshot as a :class:`~repro.graph.csr.CSRGraph`.
 
     With ``mmap=True`` (the default) the CSR arrays are read-only
@@ -257,9 +384,30 @@ def load_snapshot(path: PathLike, *, mmap: bool = True):
     ``mode == "mmap"``.  With ``mmap=False`` the arrays are materialized in
     memory (bit-identical, ``mode == "in_memory"``).  Weighted snapshots come
     back as :class:`~repro.weighted.wgraph.WeightedCSRGraph`.
+
+    ``verify`` controls payload integrity checking against the v2 checksum
+    trailer (one full sequential read of the payloads before the graph is
+    constructed):
+
+    * ``False`` (default) — trust the file; no extra I/O.
+    * ``True`` — verify every array; a version-1 snapshot (which has no
+      trailer to verify against) raises ``ValueError``.
+    * ``"auto"`` — verify when a trailer exists, accept v1 files as-is.
+
+    Any mismatch, truncation, or missing v2 trailer raises ``ValueError``.
     """
     path = Path(path)
     header = read_snapshot_header(path)
+    if verify:
+        checksums = read_snapshot_checksums(path, header)
+        if checksums is None:
+            if verify != "auto":
+                raise ValueError(
+                    f"{path}: cannot verify a version-{header['version']} snapshot "
+                    "(no checksum trailer; re-save to upgrade)"
+                )
+        else:
+            _verify_payloads(path, header, checksums)
     base = header["data_offset"]
     arrays = {}
     for name, spec in header["arrays"].items():

@@ -73,8 +73,13 @@ from typing import TYPE_CHECKING, Callable, Dict, Hashable, Iterable, List, Mapp
 
 import numpy as np
 
+from repro import faults
+from repro.utils.logging import get_logger
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (structured imports ArrayPairs)
     from repro.mapreduce.structured import StructuredOutcome, StructuredReducer
+
+_LOG = get_logger("mapreduce.backends")
 
 Key = Hashable
 Value = object
@@ -89,11 +94,22 @@ __all__ = [
     "SerialBackend",
     "VectorizedBackend",
     "ProcessBackend",
+    "WorkerLostError",
     "get_backend",
     "available_backends",
     "fork_available",
     "shutdown_pool",
 ]
+
+
+class WorkerLostError(RuntimeError):
+    """A pool round could not complete: a worker died, hung past the round
+    timeout, or raised from inside the pool.
+
+    Raised by the supervised round executor so :class:`ProcessBackend` can
+    reap the round, rebuild its pool, and retry — ``multiprocessing.Pool``
+    itself would block forever on a task whose worker was SIGKILLed.
+    """
 
 
 def fork_available() -> bool:
@@ -125,6 +141,22 @@ def shutdown_pool(pool, *, timeout: float = 5.0) -> None:
             break
         time.sleep(0.01)
     pool.join()
+
+
+def _pool_pids(pool) -> frozenset:
+    """The pids of a pool's current workers.
+
+    ``Pool``'s maintainer thread replaces a dead worker with a fresh process
+    (new pid) within milliseconds, so a changed pid set is the reliable
+    worker-death signal; the ``exitcode`` probe in :func:`_supervised_get`
+    covers the short window before the replacement appears.  ``list()``
+    first — the maintainer thread mutates ``_pool`` concurrently.
+    """
+    return frozenset(
+        worker.pid
+        for worker in list(getattr(pool, "_pool", None) or [])
+        if worker.pid is not None
+    )
 
 
 class ArrayPairs:
@@ -430,6 +462,7 @@ _ACTIVE_REDUCER: Optional[Reducer] = None
 
 def _reduce_shard(shard: List[Tuple[int, Key, Value]]) -> Tuple[List[Tuple[int, List[Pair]]], int]:
     """Group and reduce one shard with the fork-inherited reducer slot."""
+    faults.inject("mr.worker.closure")
     reducer = _ACTIVE_REDUCER
     assert reducer is not None, "reducer slot not populated before shard execution"
     return _reduce_shard_with(reducer, shard)
@@ -439,8 +472,17 @@ def _reduce_shard_task(
     task: Tuple[Reducer, List[Tuple[int, Key, Value]]],
 ) -> Tuple[List[Tuple[int, List[Pair]]], int]:
     """Pool task carrying its (picklable) reducer inline — persistent-pool path."""
+    faults.inject("mr.worker.classic")
     reducer, shard = task
     return _reduce_shard_with(reducer, shard)
+
+
+def _structured_shard_task(task):
+    """Pool task for one pickled structured shard (chaos-instrumented)."""
+    from repro.mapreduce import structured
+
+    faults.inject("mr.worker.structured")
+    return structured.reduce_structured_shard(task)
 
 
 def _reduce_shard_with(
@@ -508,12 +550,32 @@ class ProcessBackend(ExecutionBackend):
         Minimum structured-round size (in mapped pairs) for the shared-memory
         path; below it the fixed segment-setup cost outweighs the saved
         serialization.  Defaults to ``REPRO_SHM_MIN_PAIRS`` or 131072.
+    max_round_retries:
+        How many times a round whose pool worker died (or hung past
+        ``round_timeout``) is retried on a rebuilt pool before the round
+        falls back to bit-identical in-process execution.  Defaults to
+        ``REPRO_MR_RETRIES`` or 2.
+    round_timeout:
+        Per-round wall-clock budget in seconds; a pool round running longer
+        is treated like a lost worker (pool rebuilt, round retried).
+        ``None`` (the default, or ``REPRO_MR_ROUND_TIMEOUT``) disables the
+        timeout.
+    retry_backoff:
+        Base of the bounded exponential backoff slept before each retry
+        (``backoff * 2**(attempt-1)``, capped at 2 s).  Defaults to
+        ``REPRO_MR_RETRY_BACKOFF`` or 0.05.
     """
 
     name = "process"
 
     def __init__(
-        self, num_shards: Optional[int] = None, *, shm_min_pairs: Optional[int] = None
+        self,
+        num_shards: Optional[int] = None,
+        *,
+        shm_min_pairs: Optional[int] = None,
+        max_round_retries: Optional[int] = None,
+        round_timeout: Optional[float] = None,
+        retry_backoff: Optional[float] = None,
     ) -> None:
         if num_shards is not None and num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -521,6 +583,16 @@ class ProcessBackend(ExecutionBackend):
         if shm_min_pairs is None:
             shm_min_pairs = int(os.environ.get("REPRO_SHM_MIN_PAIRS", 131072))
         self.shm_min_pairs = int(shm_min_pairs)
+        if max_round_retries is None:
+            max_round_retries = int(os.environ.get("REPRO_MR_RETRIES", 2))
+        self.max_round_retries = max(0, int(max_round_retries))
+        if round_timeout is None:
+            raw_timeout = os.environ.get("REPRO_MR_ROUND_TIMEOUT", "")
+            round_timeout = float(raw_timeout) if raw_timeout else None
+        self.round_timeout = round_timeout if round_timeout and round_timeout > 0 else None
+        if retry_backoff is None:
+            retry_backoff = float(os.environ.get("REPRO_MR_RETRY_BACKOFF", 0.05))
+        self.retry_backoff = max(0.0, float(retry_backoff))
         self._fork_available = fork_available()
         self._pool = None
         self._shm_pool = None
@@ -576,9 +648,104 @@ class ProcessBackend(ExecutionBackend):
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
+            # During interpreter teardown module globals are torn to None in
+            # arbitrary order; if the machinery close() relies on is already
+            # gone, the OS reclaims the pool processes and the resource
+            # tracker reclaims the segments — don't spew a secondary
+            # traceback over it.
+            if time is None or multiprocessing is None or shutdown_pool is None:
+                return
             self.close()
-        except Exception:
+        except BaseException:
             pass
+
+    # ------------------------------------------------------------------ #
+    # Worker-loss recovery
+    # ------------------------------------------------------------------ #
+    def _rebuild_pool(self) -> None:
+        """Tear the worker pool down hard; the next round re-creates it.
+
+        ``terminate()`` rather than a graceful drain — the pool is being
+        rebuilt precisely because a worker is dead or hung, so there is
+        nothing to wait for.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def _supervised_map(self, pool, func, tasks: list) -> list:
+        """``pool.map`` that detects worker death instead of blocking forever.
+
+        A SIGKILLed worker silently drops its task, and ``Pool.map`` would
+        then wait on a result that can never arrive.  Submitting with
+        ``map_async`` and polling lets the driver notice the loss — a
+        changed worker pid set (the maintainer thread respawns dead workers
+        under new pids) or a non-``None`` ``exitcode`` — and raise
+        :class:`WorkerLostError` promptly.  A configured ``round_timeout``
+        turns a hung round into the same error; worker-side exceptions are
+        wrapped in it too, so every pool-round failure funnels into one
+        retryable signal.
+        """
+        map_async = getattr(pool, "map_async", None)
+        if map_async is None:  # duck-typed pool stubs expose plain map only
+            return pool.map(func, tasks)
+        result = map_async(func, tasks)
+        baseline = _pool_pids(pool)
+        deadline = (
+            time.monotonic() + self.round_timeout if self.round_timeout is not None else None
+        )
+        while not result.ready():
+            result.wait(0.05)
+            if result.ready():
+                break
+            workers = list(getattr(pool, "_pool", None) or [])
+            if any(worker.exitcode is not None for worker in workers):
+                raise WorkerLostError("pool worker died mid-round")
+            if _pool_pids(pool) != baseline:
+                raise WorkerLostError("pool worker was replaced mid-round")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WorkerLostError(
+                    f"round exceeded the {self.round_timeout:g}s timeout"
+                )
+        try:
+            return result.get()
+        except Exception as exc:
+            raise WorkerLostError(f"pool round raised: {exc!r}") from exc
+
+    def _retry_wait(self, attempt: int) -> None:
+        """Bounded exponential backoff before retry ``attempt`` (1-based)."""
+        if self.retry_backoff > 0:
+            time.sleep(min(self.retry_backoff * (2 ** (attempt - 1)), 2.0))
+
+    def _run_tasks(self, func, tasks: list) -> list:
+        """Run one round's tasks on the persistent pool, surviving worker loss.
+
+        Each :class:`WorkerLostError` rebuilds the pool and retries the whole
+        round after a bounded exponential backoff; once the
+        ``max_round_retries`` budget is spent the round executes in-process
+        (``func`` applied to every task in the driver), which is
+        bit-identical — just not parallel.  Tasks must therefore be
+        idempotent, which every shard reduction here is.
+        """
+        for attempt in range(self.max_round_retries + 1):
+            if attempt:
+                self._retry_wait(attempt)
+            try:
+                return self._supervised_map(self._ensure_pool(), func, tasks)
+            except WorkerLostError as exc:
+                _LOG.warning(
+                    "pool round attempt %d/%d failed (%s); rebuilding pool",
+                    attempt + 1,
+                    self.max_round_retries + 1,
+                    exc,
+                )
+                self._rebuild_pool()
+        _LOG.warning("retry budget exhausted; running round in-process")
+        return [func(task) for task in tasks]
 
     def _picklable(self, reducer: object) -> bool:
         try:
@@ -640,17 +807,25 @@ class ProcessBackend(ExecutionBackend):
 
         if self._fork_available and len(shards) > 1 and self._picklable(reducer):
             # Persistent-pool path: the reducer travels inside each task.
-            pool = self._ensure_pool()
-            results = pool.map(_reduce_shard_task, [(reducer, shard) for shard in shards])
+            results = self._run_tasks(_reduce_shard_task, [(reducer, shard) for shard in shards])
         elif self._fork_available and len(shards) > 1:
             # Closure reducers reach a per-round pool by fork inheritance.
+            # The per-round pool gets one supervised attempt: it dies with
+            # its round anyway, so a lost worker goes straight to the
+            # bit-identical in-process fallback instead of a rebuild loop.
             global _ACTIVE_REDUCER
             _ACTIVE_REDUCER = reducer
             try:
                 context = multiprocessing.get_context("fork")
                 workers = min(len(shards), self.num_shards, os.cpu_count() or 1)
                 with context.Pool(processes=workers) as pool:
-                    results = pool.map(_reduce_shard, shards)
+                    try:
+                        results = self._supervised_map(pool, _reduce_shard, shards)
+                    except WorkerLostError as exc:
+                        _LOG.warning(
+                            "per-round pool failed (%s); running round in-process", exc
+                        )
+                        results = [_reduce_shard_with(reducer, shard) for shard in shards]
             finally:
                 _ACTIVE_REDUCER = None
         else:
@@ -703,8 +878,7 @@ class ProcessBackend(ExecutionBackend):
             if indices.size:
                 tasks.append((reducer, keys[indices], mapped.values[indices], indices))
         if self._fork_available and len(tasks) > 1 and self._picklable(reducer):
-            pool = self._ensure_pool()
-            results = pool.map(structured.reduce_structured_shard, tasks)
+            results = self._run_tasks(_structured_shard_task, tasks)
         else:
             results = [structured.reduce_structured_shard(task) for task in tasks]
         return structured.merge_shard_groups(mapped, reducer, results)
@@ -758,38 +932,60 @@ class ProcessBackend(ExecutionBackend):
         bounds = np.zeros(self.num_shards + 1, dtype=np.int64)
         np.cumsum(counts, out=bounds[1:])
 
-        pool = self._ensure_shm_pool()
-        in_refs = pool.publish(
-            {
-                "keys": keys[order],
-                "values": values[order],
-                "indices": order.astype(np.int64, copy=False),
-            }
-        )
-        out_refs = pool.allocate(
-            {
-                "first": (np.dtype(np.int64), (n,)),
-                "keys": (keys.dtype, (n,)),
-                "rows": (
-                    np.dtype(reducer.result_dtype(values)),
-                    (n,) + tuple(reducer.result_row_shape(values)),
-                ),
-            }
-        )
-        tasks = []
-        for shard in range(self.num_shards):
-            start, end = int(bounds[shard]), int(bounds[shard + 1])
-            if end > start:
-                tasks.append((reducer, in_refs, out_refs, start, end))
-        try:
-            if len(tasks) > 1:
-                results = self._ensure_pool().map(shm.reduce_shard_from_refs, tasks)
-            else:
-                results = [shm.reduce_shard_from_refs(task) for task in tasks]
-            return self._merge_shm_results(mapped, reducer, out_refs, tasks, results)
-        finally:
-            pool.release_refs(in_refs)
-            pool.release_refs(out_refs)
+        # Worker loss mid-round is survivable because the round is
+        # idempotent: every attempt publishes fresh input/output segments
+        # (the failed attempt's segments are unlinked in its ``finally``
+        # before the pool is rebuilt, so nothing leaks even when a worker
+        # died holding an attachment) and each shard writes only its own
+        # output range.  After the retry budget the round runs through the
+        # driver-side segment path — bit-identical, just not parallel.
+        for attempt in range(self.max_round_retries + 1):
+            if attempt:
+                self._retry_wait(attempt)
+            pool = self._ensure_shm_pool()
+            in_refs = pool.publish(
+                {
+                    "keys": keys[order],
+                    "values": values[order],
+                    "indices": order.astype(np.int64, copy=False),
+                }
+            )
+            out_refs = pool.allocate(
+                {
+                    "first": (np.dtype(np.int64), (n,)),
+                    "keys": (keys.dtype, (n,)),
+                    "rows": (
+                        np.dtype(reducer.result_dtype(values)),
+                        (n,) + tuple(reducer.result_row_shape(values)),
+                    ),
+                }
+            )
+            tasks = []
+            for shard in range(self.num_shards):
+                start, end = int(bounds[shard]), int(bounds[shard + 1])
+                if end > start:
+                    tasks.append((reducer, in_refs, out_refs, start, end))
+            try:
+                if len(tasks) > 1:
+                    results = self._supervised_map(
+                        self._ensure_pool(), shm.reduce_shard_from_refs, tasks
+                    )
+                else:
+                    results = [shm.reduce_shard_from_refs(task) for task in tasks]
+                return self._merge_shm_results(mapped, reducer, out_refs, tasks, results)
+            except (WorkerLostError, OSError) as exc:
+                _LOG.warning(
+                    "shm round attempt %d/%d failed (%s); rebuilding pool",
+                    attempt + 1,
+                    self.max_round_retries + 1,
+                    exc,
+                )
+                self._rebuild_pool()
+            finally:
+                pool.release_refs(in_refs)
+                pool.release_refs(out_refs)
+        _LOG.warning("shm retry budget exhausted; running round in the driver")
+        return structured.execute_segments(mapped, reducer)
 
     def _merge_shm_results(self, mapped, reducer, out_refs, tasks, results):
         """Merge per-shard group ranges from the shared output segment.

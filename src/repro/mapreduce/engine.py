@@ -36,7 +36,13 @@ argsort and evaluates structured reducers with segment reductions,
 ``multiprocessing.Pool`` (structured rounds are sharded as key/value arrays).
 All backends are bit-compatible: identical output pairs and identical
 metrics, so round/communication numbers reported by the experiment harness do
-not depend on the backend choice.
+not depend on the backend choice.  That guarantee extends to partial
+failures: the process backend supervises its pool, retries a round whose
+worker died (fresh shards, bounded exponential backoff) and finally falls
+back to in-process execution, so a round either returns the exact pairs and
+metrics a fault-free run would have produced or raises — never a silently
+truncated shuffle.  The seeded chaos suite (:mod:`repro.faults`) regression-
+gates this bit-identical-under-faults property.
 
 The MR drivers of the core algorithms (:mod:`repro.core.mr_algorithms`,
 :mod:`repro.core.mr_native`) and of the baselines (BFS, HADI) are built on

@@ -47,6 +47,8 @@ from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
+from repro import faults
+
 __all__ = [
     "SharedArrayRef",
     "SharedArrayPool",
@@ -56,6 +58,7 @@ __all__ = [
     "reduce_shard_from_refs",
     "ensure_tracker_running",
     "active_repro_segments",
+    "reap_orphans",
     "flatten_refs",
     "contains_ndarray",
 ]
@@ -85,6 +88,50 @@ def active_repro_segments() -> List[str]:
         )
     except OSError:  # pragma: no cover - non-Linux platforms
         return []
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive but owned by another user
+        return True
+    except OSError:  # pragma: no cover - be conservative on odd platforms
+        return True
+    return True
+
+
+def reap_orphans() -> List[str]:
+    """Unlink ``rshm_*`` segments whose owning process is gone.
+
+    Segment names embed the owner's pid (``rshm_<pid>_<n>``), so a segment
+    whose pid no longer exists is an orphan by construction — its owner was
+    killed before ``close()`` could unlink it.  Crash recovery calls this
+    (``SharedArrayPool.close()`` does it automatically, and
+    ``python -m repro.experiments reap-shm`` exposes it to operators) to
+    stop dead runs from eating ``/dev/shm``.  Segments of the calling
+    process and of any live pid are never touched.  Returns the names
+    reaped, for logging/tests.
+    """
+    reaped: List[str] = []
+    own_pid = os.getpid()
+    for name in active_repro_segments():
+        tail = name[len(_SEGMENT_PREFIX):]
+        pid_text, _, _ = tail.partition("_")
+        try:
+            pid = int(pid_text)
+        except ValueError:  # pragma: no cover - foreign name under our prefix
+            continue
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+        except OSError:  # pragma: no cover - raced with another reaper
+            continue
+        reaped.append(name)
+    return reaped
 
 
 @dataclass(frozen=True)
@@ -222,14 +269,25 @@ class SharedArrayPool:
         return sorted(self._segments)
 
     def close(self) -> None:
-        """Release every owned segment; safe to call repeatedly."""
+        """Release every owned segment; safe to call repeatedly.
+
+        Also reaps orphaned segments left behind by *dead* owners
+        (:func:`reap_orphans`) — the natural hook, since every component
+        that owns segments closes its pool on the way out.
+        """
         for name in list(self._segments):
             self.release(name)
+        reap_orphans()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
+            # Module globals (os, shared_memory internals) are torn to None
+            # in arbitrary order during interpreter shutdown; segments we
+            # cannot unlink here are the resource tracker's to reclaim.
+            if os is None or shared_memory is None:
+                return
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
 
@@ -269,6 +327,7 @@ def attach(name: str) -> shared_memory.SharedMemory:
     re-add of the owner's own entry, and the owner's ``unlink`` clears it
     exactly once.  Either way, attachers never unlink.
     """
+    faults.inject("shm.attach")
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:  # Python < 3.13: no track parameter
@@ -346,6 +405,7 @@ def reduce_shard_from_refs(
     Every segment attached here is closed before returning, so per-round
     segments never accumulate mappings in long-lived workers.
     """
+    faults.inject("mr.worker.shm")
     reducer, in_refs, out_refs, start, end = task
     segments: Dict[str, shared_memory.SharedMemory] = {}
     try:

@@ -163,7 +163,14 @@ class GraphService:
         cold-start path: no decomposition, no APSP).  Any change to the graph
         arrays, ``tau``, ``seed``, or ``method`` changes the content key and
         forces a rebuild.
+
+        A snapshot that exists but fails to load (torn write, flipped bit,
+        stale schema) degrades gracefully: a ``RuntimeWarning`` is emitted,
+        the corrupt file is removed, and the service is rebuilt and re-saved
+        — cold starts never abort on damaged cache state.
         """
+        import warnings
+
         from repro.serving import snapshot as snap
 
         method = resolve_method(graph, method)
@@ -172,8 +179,16 @@ class GraphService:
         key = snap.snapshot_key(graph, tau=tau, seed=seed, method=method)
         path = snap.snapshot_path(store, key)
         if path.exists():
-            service = snap.load_snapshot(path)
-            return service, True
+            try:
+                service = snap.load_snapshot(path)
+                return service, True
+            except ValueError as exc:
+                warnings.warn(
+                    f"oracle snapshot {path} is corrupt ({exc}); rebuilding",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                path.unlink(missing_ok=True)
         service = cls.build(graph, tau=tau, seed=seed, method=method)
         snap.save_snapshot(service, store)
         return service, False

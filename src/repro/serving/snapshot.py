@@ -25,6 +25,7 @@ from typing import Union
 
 import numpy as np
 
+from repro import faults
 from repro.experiments.store import ArtifactStore
 from repro.graph.csr import CSRGraph
 
@@ -122,6 +123,7 @@ def save_snapshot(service, store: StoreLike) -> Path:
     tmp = path.with_name(f".{path.stem}.{os.getpid()}.npz")
     np.savez_compressed(tmp, **arrays)
     os.replace(tmp, path)
+    faults.corrupt_file("serving.snapshot", path)
     return path
 
 
@@ -151,7 +153,12 @@ def load_snapshot(path: Union[str, os.PathLike]):
                 raise ValueError(f"snapshot {path} is missing arrays: {sorted(missing)}")
             meta = json.loads(str(data["meta"]))
             arrays = {name: data[name] for name in files - {"meta"}}
-    except OSError as exc:
+    except ValueError:
+        raise
+    except Exception as exc:
+        # A torn or bit-flipped .npz surfaces as anything from OSError to
+        # BadZipFile to JSONDecodeError; normalize them all to ValueError so
+        # callers have one "snapshot is unusable" signal to degrade on.
         raise ValueError(f"cannot read snapshot {path}: {exc}") from exc
     if not isinstance(meta, dict) or meta.get("schema") != SNAPSHOT_SCHEMA:
         raise ValueError(

@@ -1,0 +1,269 @@
+"""Chaos suite for the process backend: seeded faults, bit-identical recovery.
+
+Every scenario installs a deterministic :class:`~repro.faults.FaultPlan`,
+runs a round through the :class:`ProcessBackend`, and asserts the output and
+metrics are bit-identical to the fault-free serial reference — plus zero
+leaked ``rshm_*`` segments.  Kill faults use a ``state_dir`` so the ticket is
+global: the respawned worker of the rebuilt pool must not re-fire it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.mapreduce import shm
+from repro.mapreduce.backends import (
+    ArrayPairs,
+    ProcessBackend,
+    SerialBackend,
+    WorkerLostError,
+    fork_available,
+)
+from repro.mapreduce.engine import MREngine
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="requires fork start method")
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults_and_segments():
+    """Plans never outlive a test; segments never leak past one."""
+    faults.clear_installed()
+    assert shm.active_repro_segments() == []
+    yield
+    faults.clear_installed()
+    assert shm.active_repro_segments() == []
+
+
+def chaos_backend(**kwargs):
+    kwargs.setdefault("num_shards", 2)
+    kwargs.setdefault("shm_min_pairs", 1)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return ProcessBackend(**kwargs)
+
+
+def structured_batch(seed=5, n=4000, num_keys=200):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, num_keys, size=n).astype(np.int64)
+    values = rng.integers(-1000, 1000, size=n).astype(np.int64)
+    return ArrayPairs(keys, values)
+
+
+def serial_reference(batch, reducer_name):
+    engine = MREngine(backend="serial")
+    out = engine.run_structured_round(batch, reducer_name)
+    return out, engine.metrics.as_dict()
+
+
+def assert_bit_identical(batch, reducer_name, backend):
+    expected, expected_metrics = serial_reference(batch, reducer_name)
+    with MREngine(backend=backend) as engine:
+        got = engine.run_structured_round(batch, reducer_name)
+        assert np.array_equal(expected.keys, got.keys)
+        assert np.array_equal(expected.values, got.values)
+        assert engine.metrics.as_dict() == expected_metrics
+
+
+# ------------------------------------------------------------------ #
+# Worker death mid-round
+# ------------------------------------------------------------------ #
+@needs_fork
+class TestWorkerDeath:
+    def test_shm_round_survives_worker_kill(self, tmp_path):
+        """SIGKILL one worker mid shm round; the retried round is identical."""
+        FaultPlan(
+            specs=(FaultSpec(site="mr.worker.shm", kind="kill"),),
+            state_dir=str(tmp_path / "state"),
+        ).install()
+        backend = chaos_backend()
+        try:
+            assert_bit_identical(structured_batch(), "min", backend)
+        finally:
+            backend.close()
+
+    def test_classic_round_survives_worker_kill(self, tmp_path):
+        FaultPlan(
+            specs=(FaultSpec(site="mr.worker.classic", kind="kill"),),
+            state_dir=str(tmp_path / "state"),
+        ).install()
+        backend = chaos_backend()
+        pairs = [(i % 7, i) for i in range(500)]
+
+        def reducer(key, values):
+            yield (key, sum(values))
+
+        expected = SerialBackend().shuffle_reduce(list(pairs), reducer)
+        try:
+            got = backend.shuffle_reduce(list(pairs), reducer)
+        finally:
+            backend.close()
+        assert expected.output == got.output
+        assert expected.max_reducer_input == got.max_reducer_input
+
+    def test_repeated_kills_fall_back_in_process(self, tmp_path):
+        """More kills than retries: the driver-side fallback still answers."""
+        FaultPlan(
+            specs=(FaultSpec(site="mr.worker.shm", kind="kill", times=10),),
+            state_dir=str(tmp_path / "state"),
+        ).install()
+        backend = chaos_backend(max_round_retries=1)
+        try:
+            # With times=10 every pool attempt dies; the terminal fallback
+            # executes the segments on the driver, where the per-process hit
+            # counter of site "mr.worker.shm" is never reached.
+            assert_bit_identical(structured_batch(seed=8), "sum", backend)
+        finally:
+            backend.close()
+
+
+# ------------------------------------------------------------------ #
+# Attach failures and hangs
+# ------------------------------------------------------------------ #
+@needs_fork
+class TestInfraFaults:
+    def test_shm_attach_error_recovers(self, tmp_path):
+        FaultPlan(
+            specs=(FaultSpec(site="shm.attach", kind="error", message="attach refused"),),
+            state_dir=str(tmp_path / "state"),
+        ).install()
+        backend = chaos_backend()
+        try:
+            assert_bit_identical(structured_batch(seed=11), "max", backend)
+        finally:
+            backend.close()
+
+    def test_hung_worker_trips_round_timeout(self, tmp_path):
+        """A worker hang past the round timeout is retried, not waited out."""
+        FaultPlan(
+            specs=(FaultSpec(site="mr.worker.shm", kind="hang", delay_s=5.0),),
+            state_dir=str(tmp_path / "state"),
+        ).install()
+        backend = chaos_backend(round_timeout=0.5)
+        try:
+            assert_bit_identical(structured_batch(seed=13), "count", backend)
+        finally:
+            backend.close()
+
+    def test_error_budget_exhaustion_falls_back(self, tmp_path):
+        """Error faults outlasting every pool retry hit the terminal fallback.
+
+        One shard per round and a global ticket budget equal to the attempt
+        count makes the accounting exact: all three pool attempts fail, and
+        the in-process fallback runs with the budget already spent.
+        """
+        FaultPlan(
+            specs=(FaultSpec(site="mr.worker.structured", kind="error", times=3),),
+            state_dir=str(tmp_path / "state"),
+        ).install()
+        backend = chaos_backend(num_shards=1, max_round_retries=2, shm_min_pairs=10**9)
+        try:
+            assert_bit_identical(structured_batch(seed=17), "min", backend)
+        finally:
+            backend.close()
+
+
+# ------------------------------------------------------------------ #
+# Supervision plumbing
+# ------------------------------------------------------------------ #
+class TestSupervision:
+    def test_worker_lost_error_exported(self):
+        assert issubclass(WorkerLostError, RuntimeError)
+
+    def test_run_tasks_gives_up_to_in_process(self, monkeypatch):
+        """A pool that always loses workers ends at the in-process fallback."""
+        backend = ProcessBackend(num_shards=2, max_round_retries=1, retry_backoff=0.0)
+        calls = {"maps": 0, "rebuilds": 0}
+
+        def failing_map(func, tasks):
+            calls["maps"] += 1
+            raise WorkerLostError("synthetic")
+
+        monkeypatch.setattr(backend, "_supervised_map", lambda pool, f, t: failing_map(f, t))
+        monkeypatch.setattr(backend, "_ensure_pool", lambda: object())
+        monkeypatch.setattr(
+            backend, "_rebuild_pool", lambda: calls.__setitem__("rebuilds", calls["rebuilds"] + 1)
+        )
+        out = backend._run_tasks(lambda task: task * 2, [1, 2, 3])
+        assert out == [2, 4, 6]
+        assert calls["maps"] == 2  # initial + one retry
+        assert calls["rebuilds"] == 2
+
+    def test_supervised_map_degrades_to_plain_map(self):
+        """Duck-typed pools without map_async still work (test stubs)."""
+
+        class MapOnly:
+            def map(self, func, tasks):
+                return [func(task) for task in tasks]
+
+        backend = ProcessBackend(num_shards=2)
+        assert backend._supervised_map(MapOnly(), lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_retry_backoff_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MR_RETRIES", "7")
+        monkeypatch.setenv("REPRO_MR_RETRY_BACKOFF", "0.25")
+        monkeypatch.setenv("REPRO_MR_ROUND_TIMEOUT", "9.5")
+        backend = ProcessBackend(num_shards=1)
+        assert backend.max_round_retries == 7
+        assert backend.retry_backoff == 0.25
+        assert backend.round_timeout == 9.5
+
+
+# ------------------------------------------------------------------ #
+# Orphan reaping
+# ------------------------------------------------------------------ #
+class TestReapOrphans:
+    @staticmethod
+    def _make_orphan(suffix):
+        """A segment named for a certainly-dead pid, untracked (crash sim)."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        dead_pid = 2**22 - 1
+        while shm._pid_alive(dead_pid):  # pragma: no cover - astronomically rare
+            dead_pid -= 1
+        orphan_name = f"rshm_{dead_pid}_{suffix}"
+        segment = shared_memory.SharedMemory(name=orphan_name, create=True, size=64)
+        resource_tracker.unregister(segment._name, "shared_memory")
+        segment.close()
+        return orphan_name
+
+    def test_dead_pid_segment_reaped(self):
+        """A segment named for a dead pid is unlinked; live ones are kept."""
+        from multiprocessing import shared_memory
+
+        orphan_name = self._make_orphan("chaos")
+        try:
+            reaped = shm.reap_orphans()
+            assert orphan_name in reaped
+            assert orphan_name not in shm.active_repro_segments()
+        finally:
+            try:
+                shared_memory.SharedMemory(name=orphan_name).unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_own_segments_never_reaped(self):
+        pool = shm.SharedArrayPool()
+        try:
+            refs = pool.publish({"x": np.arange(8)})
+            segment = refs["x"].segment
+            assert shm.reap_orphans() == []
+            assert segment in shm.active_repro_segments()
+        finally:
+            pool.close()
+
+    def test_close_sweeps_orphans(self):
+        """SharedArrayPool.close() doubles as a crash-recovery sweep."""
+        from multiprocessing import shared_memory
+
+        orphan_name = self._make_orphan("sweep")
+        try:
+            pool = shm.SharedArrayPool()
+            pool.close()
+            assert orphan_name not in shm.active_repro_segments()
+        finally:
+            try:
+                shared_memory.SharedMemory(name=orphan_name).unlink()
+            except FileNotFoundError:
+                pass
