@@ -86,6 +86,38 @@ def oracle_bench_recorder():
     return record
 
 
+# ------------------------------------------------------------------ #
+# Machine-readable frontier-kernel trajectory (BENCH_kernels.json)
+# ------------------------------------------------------------------ #
+# bench_kernels.py records one row per measured (workload, mode) pair —
+# sort-free vs sorted claims, bit-parallel msbfs vs the looped single-source
+# path, direction-optimized vs push-only BFS — written to BENCH_kernels.json
+# at session end (override with REPRO_BENCH_KERNELS_JSON).  When the session
+# ran with REPRO_KERNEL_STATS=1 the aggregate kernel counters are embedded
+# alongside the rows so the direction-switch heuristics are observable in
+# the CI artifact.
+_KERNEL_BENCH_RESULTS: list = []
+
+
+@pytest.fixture(scope="session")
+def kernel_bench_recorder():
+    """Record one frontier-kernel benchmark measurement for BENCH_kernels.json."""
+
+    def record(*, benchmark: str, workload: str, units: int, mode: str,
+               seconds: float, **extra) -> None:
+        row = {
+            "benchmark": benchmark,
+            "workload": workload,
+            "units": int(units),
+            "mode": mode,
+            "seconds": float(seconds),
+        }
+        row.update(extra)
+        _KERNEL_BENCH_RESULTS.append(row)
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
     if _MR_BENCH_RESULTS:
@@ -98,6 +130,14 @@ def pytest_sessionfinish(session, exitstatus):
         path.write_text(
             json.dumps({"quick_mode": quick, "results": _ORACLE_BENCH_RESULTS}, indent=2) + "\n"
         )
+    if _KERNEL_BENCH_RESULTS:
+        from repro.graph import kernels
+
+        payload = {"quick_mode": quick, "results": _KERNEL_BENCH_RESULTS}
+        if kernels.kernel_stats_enabled():
+            payload["kernel_stats"] = kernels.kernel_stats_snapshot()
+        path = Path(os.environ.get("REPRO_BENCH_KERNELS_JSON", "BENCH_kernels.json"))
+        path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def bench_scale() -> str:

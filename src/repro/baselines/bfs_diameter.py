@@ -22,6 +22,13 @@ arbitrary-but-deterministic tie-break as
 runs through the flattened per-pair tuple path (the bit-compatibility
 reference); ``backend="vectorized"`` evaluates it with zero per-key Python
 calls.  Estimates and metrics are backend-independent.
+
+The in-memory sweeps of :func:`bfs_diameter` run through the
+direction-optimizing :func:`repro.graph.kernels.frontier_expansion` (push or
+pull per level, bit-identical either way); the MR path deliberately stays a
+push-only per-level plan, since its per-round accounting *is* the metered
+quantity — every arc leaving the frontier is charged whatever the local
+execution strategy.
 """
 
 from __future__ import annotations

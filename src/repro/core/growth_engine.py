@@ -113,7 +113,7 @@ class ArbitraryTieBreak(TieBreakPolicy):
     name = "arbitrary"
 
     def resolve(self, engine, src, dst, weight):
-        new_nodes, parents = kernels.claim_first(dst, src)
+        new_nodes, parents = kernels.claim_first(dst, src, workspace=engine.claim_workspace)
         return new_nodes, parents, None
 
 
@@ -137,7 +137,7 @@ class MinWeightTieBreak(TieBreakPolicy):
     def resolve(self, engine, src, dst, weight):
         candidate = engine.weighted_distance[src] + weight
         # claim_min: primary key target node, secondary accumulated weight.
-        return kernels.claim_min(dst, src, candidate)
+        return kernels.claim_min(dst, src, candidate, workspace=engine.claim_workspace)
 
 
 class ShiftedStartTieBreak(TieBreakPolicy):
@@ -156,7 +156,9 @@ class ShiftedStartTieBreak(TieBreakPolicy):
 
     def resolve(self, engine, src, dst, weight):
         center_of = engine.centers_array[engine.assignment[src]]
-        new_nodes, parents, _ = kernels.claim_min(dst, src, self.priority[center_of])
+        new_nodes, parents, _ = kernels.claim_min(
+            dst, src, self.priority[center_of], workspace=engine.claim_workspace
+        )
         return new_nodes, parents, None
 
 
@@ -215,9 +217,16 @@ class GrowthEngine:
         ).to_clustering("cluster")
     """
 
-    def __init__(self, graph, *, tie_break: "TieBreakPolicy | str | None" = None) -> None:
+    def __init__(
+        self,
+        graph,
+        *,
+        tie_break: "TieBreakPolicy | str | None" = None,
+        direction: Optional[str] = None,
+    ) -> None:
         self.graph = graph
         self.tie_break = _as_tie_break(tie_break, graph)
+        self.direction = direction
         n = graph.num_nodes
         self.assignment = np.full(n, UNCOVERED, dtype=np.int64)
         self.distance = np.full(n, UNCOVERED, dtype=np.int64)
@@ -231,6 +240,38 @@ class GrowthEngine:
         self.step_log: List[GrowthStepStats] = []
         self.iterations: List[IterationStats] = []
         self._mark_covered = 0
+        self._claim_workspace: Optional[kernels.ClaimWorkspace] = None
+        self._direction_optimizer: Optional[kernels.DirectionOptimizer] = None
+
+    @property
+    def claim_workspace(self) -> kernels.ClaimWorkspace:
+        """Shared scratch enabling the sort-free claims (lazily allocated)."""
+        if self._claim_workspace is None:
+            self._claim_workspace = kernels.ClaimWorkspace(self.num_nodes)
+        return self._claim_workspace
+
+    def _ensure_direction_optimizer(self) -> Optional[kernels.DirectionOptimizer]:
+        """Direction-optimizing state, or None when pull mode is unavailable.
+
+        Pull levels reproduce exactly the first-claimant rule, so they are
+        only eligible for the plain :class:`ArbitraryTieBreak` (whose
+        ``UNCOVERED`` sentinel also matches the optimizer's ``-1`` unvisited
+        convention); weighted / shifted-start growth stays push-only.  Created
+        lazily at the first growing step so the initial covered scan reflects
+        every center added so far; later coverage flows through
+        :meth:`~repro.graph.kernels.DirectionOptimizer.on_covered`.
+        """
+        if type(self.tie_break) is not ArbitraryTieBreak:
+            return None
+        if self._direction_optimizer is None:
+            self._direction_optimizer = kernels.DirectionOptimizer(
+                self.graph.indptr,
+                self.graph.indices,
+                self.assignment,
+                degrees=self.graph.degrees,
+                direction=self.direction,
+            )
+        return self._direction_optimizer
 
     # ------------------------------------------------------------------ #
     # Bookkeeping helpers
@@ -290,41 +331,76 @@ class GrowthEngine:
         self.centers.extend(int(v) for v in accepted)
         self.num_covered += int(accepted.size)
         self.frontier = np.concatenate([self.frontier, accepted])
+        if self._direction_optimizer is not None:
+            self._direction_optimizer.on_covered(accepted)
         return accepted
+
+    def _apply_claims(
+        self,
+        new_nodes: np.ndarray,
+        parents: np.ndarray,
+        new_weights: Optional[np.ndarray],
+        optimizer: Optional[kernels.DirectionOptimizer],
+    ) -> int:
+        """Commit one step's resolved claims to the growth state."""
+        if new_nodes.size == 0:
+            self.frontier = np.zeros(0, dtype=np.int64)
+            return 0
+        self.assignment[new_nodes] = self.assignment[parents]
+        self.distance[new_nodes] = self.distance[parents] + 1
+        if new_weights is not None:
+            self.weighted_distance[new_nodes] = new_weights
+        self.num_covered += int(new_nodes.size)
+        self.frontier = new_nodes
+        if optimizer is not None:
+            optimizer.on_covered(new_nodes)
+        return int(new_nodes.size)
 
     def grow_step(self) -> int:
         """Grow every active cluster by one hop; return #newly covered nodes.
 
         Contested nodes (several clusters reaching the same node in the same
         step) are resolved by the engine's :class:`TieBreakPolicy`.
+
+        Each step runs either as a push gather + tie-break resolution or — for
+        the plain arbitrary tie-break — as a direction-optimized pull scan
+        over uncovered nodes (see :class:`~repro.graph.kernels.
+        DirectionOptimizer`); both produce bit-identical claims, and the
+        recorded ``arcs_scanned`` always charges the push-equivalent arc count
+        so MR round accounting is independent of the execution direction.
         """
         if self.frontier.size == 0:
             return 0
-        src, dst, weight = self.tie_break.gather(self.graph, self.frontier)
-        arcs_scanned = int(dst.size)
         frontier_size = int(self.frontier.size)
-        newly = 0
-        if dst.size:
-            open_mask = self.assignment[dst] == UNCOVERED
-            dst = dst[open_mask]
-            src = src[open_mask]
-            if weight is not None:
-                weight = weight[open_mask]
+        optimizer = self._ensure_direction_optimizer()
+        if optimizer is not None and optimizer.choose(self.frontier) == "pull":
+            # MR accounting stays the push-equivalent arc count (every arc
+            # leaving the frontier is charged to the round, Lemma 3) — the
+            # pull scan is a local-execution strategy, not an MR plan change.
+            arcs_scanned = optimizer.frontier_arcs
+            new_nodes, parents = optimizer.pull_expand(self.frontier)
+            kernels.record_level_stats("pull", frontier_size, optimizer.last_pull_arcs)
+            newly = self._apply_claims(new_nodes, parents, None, optimizer)
+        else:
+            src, dst, weight = self.tie_break.gather(self.graph, self.frontier)
+            arcs_scanned = int(dst.size)
+            kernels.record_level_stats("push", frontier_size, arcs_scanned)
+            newly = 0
             if dst.size:
-                new_nodes, parents, new_weights = self.tie_break.resolve(
-                    self, src, dst, weight
-                )
-                self.assignment[new_nodes] = self.assignment[parents]
-                self.distance[new_nodes] = self.distance[parents] + 1
-                if new_weights is not None:
-                    self.weighted_distance[new_nodes] = new_weights
-                self.num_covered += int(new_nodes.size)
-                self.frontier = new_nodes
-                newly = int(new_nodes.size)
+                open_mask = self.assignment[dst] == UNCOVERED
+                dst = dst[open_mask]
+                src = src[open_mask]
+                if weight is not None:
+                    weight = weight[open_mask]
+                if dst.size:
+                    new_nodes, parents, new_weights = self.tie_break.resolve(
+                        self, src, dst, weight
+                    )
+                    newly = self._apply_claims(new_nodes, parents, new_weights, optimizer)
+                else:
+                    self.frontier = np.zeros(0, dtype=np.int64)
             else:
                 self.frontier = np.zeros(0, dtype=np.int64)
-        else:
-            self.frontier = np.zeros(0, dtype=np.int64)
         self.num_steps += 1
         self.step_log.append(
             GrowthStepStats(

@@ -15,7 +15,11 @@ serving workload — runs the same three-stage chain:
 intermediate result cached on the pipeline object so repeated or partial
 queries (e.g. the same decomposition under several quotient flavours, or a
 diameter estimate followed by MR-round accounting) never recompute a stage.
-Per-stage wall-clock timings are recorded in :attr:`DecompositionPipeline.timings`.
+Per-stage wall-clock timings are recorded in :attr:`DecompositionPipeline.timings`;
+with ``REPRO_KERNEL_STATS=1`` each stage additionally records its frontier-kernel
+counter deltas (levels by direction, edges scanned, direction switches — see
+:mod:`repro.graph.kernels`) in :attr:`DecompositionPipeline.kernel_stats`, and
+:meth:`PipelineResult.summary` flattens them as ``ks_<stage>_<counter>`` columns.
 
 :func:`repro.core.diameter.estimate_diameter` and
 :func:`repro.core.mr_algorithms.mr_estimate_diameter` are thin wrappers over
@@ -31,6 +35,7 @@ from typing import Dict, Optional
 
 from repro.core.clustering import Clustering
 from repro.core.quotient import QuotientGraph, build_quotient_graph, quotient_diameter
+from repro.graph import kernels
 from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.engine import BackendSpec, MREngine
 from repro.mapreduce.model import MRModel
@@ -112,10 +117,17 @@ class PipelineResult:
     clustering: Clustering
     estimate: "DiameterEstimate"  # noqa: F821 - forward ref, resolved lazily
     timings: Dict[str, float] = field(default_factory=dict)
+    #: per-stage kernel counter deltas (``REPRO_KERNEL_STATS=1`` runs only)
+    kernel_stats: Optional[Dict[str, Dict[str, int]]] = None
 
     def summary(self) -> dict:
-        """Compact row used by the experiment tables."""
-        return {
+        """Compact row used by the experiment tables.
+
+        When the run collected kernel counters (``REPRO_KERNEL_STATS=1``)
+        each stage's deltas are flattened in as ``ks_<stage>_<counter>``
+        columns; otherwise the row is unchanged.
+        """
+        row = {
             "method": self.method,
             "num_clusters": self.clustering.num_clusters,
             "radius": self.estimate.radius,
@@ -124,6 +136,42 @@ class PipelineResult:
             "quotient_edges": self.estimate.num_quotient_edges,
             **{f"t_{stage}": round(secs, 4) for stage, secs in sorted(self.timings.items())},
         }
+        if self.kernel_stats:
+            for stage, counters in sorted(self.kernel_stats.items()):
+                for counter, value in sorted(counters.items()):
+                    row[f"ks_{stage}_{counter}"] = value
+        return row
+
+
+class _StageScope:
+    """Times one pipeline stage; with ``REPRO_KERNEL_STATS=1`` it also diffs
+    the kernel counters so each stage's frontier activity (levels by
+    direction, edges scanned, switches, msbfs sweeps) lands next to its
+    wall-clock in :attr:`DecompositionPipeline.kernel_stats`."""
+
+    __slots__ = ("pipeline", "stage", "start", "before")
+
+    def __init__(self, pipeline: "DecompositionPipeline", stage: str) -> None:
+        self.pipeline = pipeline
+        self.stage = stage
+
+    def __enter__(self) -> "_StageScope":
+        self.start = time.perf_counter()
+        self.before = (
+            kernels.kernel_stats_snapshot() if kernels.kernel_stats_enabled() else None
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self.start
+        timings = self.pipeline.timings
+        timings[self.stage] = timings.get(self.stage, 0.0) + elapsed
+        if self.before is not None and exc_type is None:
+            after = kernels.kernel_stats_snapshot()
+            aggregate = self.pipeline.kernel_stats.setdefault(self.stage, {})
+            for counter, value in after.items():
+                aggregate[counter] = aggregate.get(counter, 0) + value - self.before[counter]
+        return False
 
 
 class DecompositionPipeline:
@@ -161,6 +209,7 @@ class DecompositionPipeline:
         self.graph = graph
         self.config = config
         self.timings: Dict[str, float] = {}
+        self.kernel_stats: Dict[str, Dict[str, int]] = {}
         self._clustering: Optional[Clustering] = clustering
         self._quotients: Dict[bool, QuotientGraph] = {}
         self._quotient_diameters: Dict[bool, float] = {}
@@ -172,9 +221,8 @@ class DecompositionPipeline:
     def decompose(self) -> Clustering:
         """Run (or return the cached) decomposition stage."""
         if self._clustering is None:
-            start = time.perf_counter()
-            self._clustering = self._run_decomposition()
-            self.timings["decompose"] = time.perf_counter() - start
+            with _StageScope(self, "decompose"):
+                self._clustering = self._run_decomposition()
         return self._clustering
 
     def _run_decomposition(self) -> Clustering:
@@ -235,18 +283,17 @@ class DecompositionPipeline:
         """
         if weighted not in self._quotients:
             clustering = self.decompose()
-            start = time.perf_counter()
-            if weighted and self._is_weighted_run(clustering):
-                from repro.weighted.applications import build_weighted_quotient
+            with _StageScope(self, f"quotient[{'weighted' if weighted else 'unweighted'}]"):
+                if weighted and self._is_weighted_run(clustering):
+                    from repro.weighted.applications import build_weighted_quotient
 
-                self._quotients[weighted] = build_weighted_quotient(self.graph, clustering)
-            else:
-                self._quotients[weighted] = build_quotient_graph(
-                    self.graph, clustering, weighted=weighted
-                )
-            self.timings[f"quotient[{'weighted' if weighted else 'unweighted'}]"] = (
-                time.perf_counter() - start
-            )
+                    self._quotients[weighted] = build_weighted_quotient(
+                        self.graph, clustering
+                    )
+                else:
+                    self._quotients[weighted] = build_quotient_graph(
+                        self.graph, clustering, weighted=weighted
+                    )
         return self._quotients[weighted]
 
     @staticmethod
@@ -263,10 +310,9 @@ class DecompositionPipeline:
         """
         if weighted not in self._quotient_diameters:
             quotient = self.quotient(weighted=weighted)
-            start = time.perf_counter()
-            self._quotient_diameters[weighted] = quotient_diameter(quotient)
             key = f"quotient[{'weighted' if weighted else 'unweighted'}]"
-            self.timings[key] = self.timings.get(key, 0.0) + time.perf_counter() - start
+            with _StageScope(self, key):
+                self._quotient_diameters[weighted] = quotient_diameter(quotient)
         return self._quotient_diameters[weighted]
 
     # ------------------------------------------------------------------ #
@@ -297,22 +343,23 @@ class DecompositionPipeline:
                 num_quotient_edges = self.quotient(weighted=True).num_edges
             # Sub-stages above record their own timings; "diameter" covers
             # only the bound assembly so the stage entries stay disjoint.
-            start = time.perf_counter()
-            unweighted_upper, weighted_upper = diameter_upper_bounds(
-                lower, radius, weighted_diam
-            )
-            upper = weighted_upper if weighted_upper is not None else float(unweighted_upper)
-            self._estimate = DiameterEstimate(
-                lower_bound=int(lower),
-                upper_bound=upper,
-                upper_bound_unweighted=unweighted_upper,
-                upper_bound_weighted=weighted_upper,
-                radius=radius,
-                num_clusters=clustering.num_clusters,
-                num_quotient_edges=num_quotient_edges,
-                clustering=clustering,
-            )
-            self.timings["diameter"] = time.perf_counter() - start
+            with _StageScope(self, "diameter"):
+                unweighted_upper, weighted_upper = diameter_upper_bounds(
+                    lower, radius, weighted_diam
+                )
+                upper = (
+                    weighted_upper if weighted_upper is not None else float(unweighted_upper)
+                )
+                self._estimate = DiameterEstimate(
+                    lower_bound=int(lower),
+                    upper_bound=upper,
+                    upper_bound_unweighted=unweighted_upper,
+                    upper_bound_weighted=weighted_upper,
+                    radius=radius,
+                    num_clusters=clustering.num_clusters,
+                    num_quotient_edges=num_quotient_edges,
+                    clustering=clustering,
+                )
         return self._estimate
 
     def _weighted_diameter(self, clustering):
@@ -325,19 +372,18 @@ class DecompositionPipeline:
             quotient_diam = 0.0
         else:
             quotient_diam = self.quotient_diameter(weighted=True)
-        start = time.perf_counter()
-        lower, _, _ = weighted_double_sweep(self.graph, rng=as_rng(self.config.seed))
-        upper = 2.0 * clustering.weighted_radius + float(quotient_diam)
-        estimate = WeightedDiameterEstimate(
-            lower_bound=float(lower),
-            upper_bound=float(upper),
-            weighted_radius=clustering.weighted_radius,
-            hop_radius=clustering.hop_radius,
-            num_clusters=clustering.num_clusters,
-            clustering=clustering,
-            num_quotient_edges=quotient.num_edges,
-        )
-        self.timings["diameter"] = time.perf_counter() - start
+        with _StageScope(self, "diameter"):
+            lower, _, _ = weighted_double_sweep(self.graph, rng=as_rng(self.config.seed))
+            upper = 2.0 * clustering.weighted_radius + float(quotient_diam)
+            estimate = WeightedDiameterEstimate(
+                lower_bound=float(lower),
+                upper_bound=float(upper),
+                weighted_radius=clustering.weighted_radius,
+                hop_radius=clustering.hop_radius,
+                num_clusters=clustering.num_clusters,
+                clustering=clustering,
+                num_quotient_edges=quotient.num_edges,
+            )
         return estimate
 
     # ------------------------------------------------------------------ #
@@ -368,23 +414,22 @@ class DecompositionPipeline:
         clustering = self.decompose()
         # Prerequisite stages above record their own timings; "mr-accounting"
         # covers only the round-charging replay.
-        start = time.perf_counter()
-        engine = MREngine(
-            model=model if model is not None else MRModel(enforce=False),
-            backend=self.config.mr_backend,
-            num_shards=self.config.mr_shards,
-        )
-        if include_quotient:
-            charge_clustering_rounds(engine, estimate.clustering)
-            charge_quotient_rounds(
-                engine,
-                self.graph,
-                num_quotient_edges=estimate.num_quotient_edges,
-                enforce_local_memory=self.config.enforce_local_memory,
+        with _StageScope(self, "mr-accounting"):
+            engine = MREngine(
+                model=model if model is not None else MRModel(enforce=False),
+                backend=self.config.mr_backend,
+                num_shards=self.config.mr_shards,
             )
-        else:
-            charge_clustering_rounds(engine, clustering)
-        self.timings["mr-accounting"] = time.perf_counter() - start
+            if include_quotient:
+                charge_clustering_rounds(engine, estimate.clustering)
+                charge_quotient_rounds(
+                    engine,
+                    self.graph,
+                    num_quotient_edges=estimate.num_quotient_edges,
+                    enforce_local_memory=self.config.enforce_local_memory,
+                )
+            else:
+                charge_clustering_rounds(engine, clustering)
         return MRExecutionReport(
             estimate=estimate,
             clustering=clustering,
@@ -401,4 +446,9 @@ class DecompositionPipeline:
             clustering=self.decompose(),
             estimate=estimate,
             timings=dict(self.timings),
+            kernel_stats=(
+                {stage: dict(counters) for stage, counters in self.kernel_stats.items()}
+                if self.kernel_stats
+                else None
+            ),
         )

@@ -25,7 +25,6 @@ import numpy as np
 from repro.core.clustering import Clustering
 from repro.graph import kernels
 from repro.graph.csr import CSRGraph
-from repro.graph.traversal import multi_source_bfs
 
 __all__ = [
     "QuotientGraph",
@@ -131,7 +130,9 @@ def quotient_apsp(quotient: QuotientGraph) -> np.ndarray:
     """All-pairs shortest-path matrix of a (small) quotient graph.
 
     Built entirely on the shared frontier kernels of
-    :mod:`repro.graph.kernels` — one level-synchronous BFS per cluster for the
+    :mod:`repro.graph.kernels` — the bit-parallel
+    :func:`~repro.graph.kernels.msbfs_levels` sweep (64 sources per ``uint64``
+    word, chunked by :func:`~repro.graph.kernels.msbfs_batch_size`) for the
     unweighted flavour, one exact bucketed delta-stepping relaxation per
     cluster for the weighted one — so the distance-oracle serving plane needs
     no external shortest-path dependency.  Entry ``(a, b)`` is ``float64``
@@ -140,9 +141,9 @@ def quotient_apsp(quotient: QuotientGraph) -> np.ndarray:
     function is bit-compat-tested.
 
     The quotient graph is small by construction (its size is chosen to fit
-    the local memory of a single reducer), so the per-source loop costs
-    ``O(k · (k + m_Q))`` on ``k`` clusters — linear in the original graph for
-    the oracle's ``k = O(sqrt(n))`` regime.
+    the local memory of a single reducer), so the full sweep costs
+    ``O(k/64 · (k + m_Q))`` OR-word work on ``k`` clusters — linear in the
+    original graph for the oracle's ``k = O(sqrt(n))`` regime.
     """
     n = quotient.num_nodes
     if n == 0:
@@ -151,15 +152,20 @@ def quotient_apsp(quotient: QuotientGraph) -> np.ndarray:
     indices = quotient.graph.indices
     weights = quotient.weights
     matrix = np.empty((n, n), dtype=np.float64)
-    for source in range(n):
-        source_array = np.asarray([source], dtype=np.int64)
-        if weights is None:
-            hops, _, _ = kernels.frontier_expansion(indptr, indices, source_array)
-            row = hops.astype(np.float64)
-            row[hops < 0] = np.inf
-        else:
+    if weights is None:
+        degrees = quotient.graph.degrees
+        batch = kernels.msbfs_batch_size()
+        for lo in range(0, n, batch):
+            chunk = np.arange(lo, min(lo + batch, n), dtype=np.int64)
+            hops = kernels.msbfs_levels(indptr, indices, chunk, degrees=degrees)
+            block = hops.astype(np.float64)
+            block[hops < 0] = np.inf
+            matrix[lo : lo + chunk.size] = block
+    else:
+        for source in range(n):
+            source_array = np.asarray([source], dtype=np.int64)
             row, _ = kernels.delta_stepping(indptr, indices, weights, source_array)
-        matrix[source] = row
+            matrix[source] = row
     return matrix
 
 
@@ -247,9 +253,14 @@ def quotient_diameter(quotient: QuotientGraph, *, method: str = "auto") -> float
                 raise ValueError("quotient graph is disconnected; diameter is infinite")
             best = max(best, float(dist.max()))
     else:
-        for source in range(n):
-            result = multi_source_bfs(quotient.graph, [source])
-            if np.any(result.distances < 0):
+        degrees = quotient.graph.degrees
+        batch = kernels.msbfs_batch_size()
+        for lo in range(0, n, batch):
+            chunk = np.arange(lo, min(lo + batch, n), dtype=np.int64)
+            hops = kernels.msbfs_levels(
+                quotient.graph.indptr, quotient.graph.indices, chunk, degrees=degrees
+            )
+            if np.any(hops < 0):
                 raise ValueError("quotient graph is disconnected; diameter is infinite")
-            best = max(best, float(result.distances.max()))
+            best = max(best, float(hops.max()))
     return best

@@ -27,7 +27,7 @@ def connected_components(graph: CSRGraph) -> np.ndarray:
     sequence of vectorized frontier sweeps, one per component, so the total
     work is ``O(n + m)``.
     """
-    return kernels.component_labels(graph.indptr, graph.indices)
+    return kernels.component_labels(graph.indptr, graph.indices, degrees=graph.degrees)
 
 
 def num_connected_components(graph: CSRGraph) -> int:

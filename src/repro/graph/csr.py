@@ -282,10 +282,28 @@ class CSRGraph:
         """True when the graph carries an edge-weight array."""
         return self.weights is not None
 
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only per-node degree array (``np.diff(indptr)``), cached.
+
+        Computed lazily on first access and reused by every frontier kernel
+        caller — the per-level direction heuristics read it constantly.  The
+        cache lives on the instance (the frozen dataclass still has a
+        ``__dict__``), so mmap-backed and in-memory graphs both pay the
+        ``np.diff`` exactly once; derived graphs (``materialize()``,
+        ``unweighted()``, ``subgraph()``) are new instances with fresh caches.
+        """
+        cached = self.__dict__.get("_degrees")
+        if cached is None:
+            cached = np.diff(self.indptr)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_degrees", cached)
+        return cached
+
     def degree(self, node: Optional[int] = None) -> "np.ndarray | int":
         """Degree of ``node``, or the full degree array if ``node`` is None."""
         if node is None:
-            return np.diff(self.indptr)
+            return self.degrees
         idx = check_node_index(node, self.num_nodes)
         return int(self.indptr[idx + 1] - self.indptr[idx])
 
@@ -312,7 +330,7 @@ class CSRGraph:
         builders, and the weighted ``edges()`` accessor all delegate here so
         the edge/weight alignment cannot drift between them.
         """
-        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
         mask = src < self.indices
         edges = np.stack([src[mask], self.indices[mask]], axis=1)
         weights = None if self.weights is None else self.weights[mask]

@@ -45,7 +45,11 @@ def diameter_all_pairs(graph: CSRGraph) -> int:
     """
     _check_connected(graph)
     all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
-    return int(kernels.eccentricities(graph.indptr, graph.indices, all_nodes).max())
+    return int(
+        kernels.eccentricities(
+            graph.indptr, graph.indices, all_nodes, degrees=graph.degrees
+        ).max()
+    )
 
 
 def diameter_bounds(graph: CSRGraph, *, rng: Optional[np.random.Generator] = None) -> Tuple[int, int]:
@@ -89,6 +93,13 @@ def diameter_ifub(graph: CSRGraph, *, start: Optional[int] = None) -> int:
     root_dist = bfs_distances(graph, start)
     depth = int(root_dist.max())
     lower = depth
+    degrees = graph.degrees
+    # Fringe eccentricities run through the bit-parallel msbfs kernel in
+    # chunks of one uint64 word: a chunk may compute a few eccentricities the
+    # scalar loop would have skipped after its stop condition fired, but every
+    # eccentricity of a depth-``level`` node is at most ``2 * level`` ≤
+    # ``lower`` once the bound holds, so the returned diameter is unchanged.
+    chunk_size = 64
     # Group nodes by BFS depth (fringe sets).
     order = np.argsort(root_dist, kind="stable")
     sorted_depths = root_dist[order]
@@ -97,13 +108,12 @@ def diameter_ifub(graph: CSRGraph, *, start: Optional[int] = None) -> int:
             break
         level_nodes = order[np.searchsorted(sorted_depths, level):
                             np.searchsorted(sorted_depths, level + 1)]
-        for v in level_nodes:
-            ecc = int(
-                kernels.eccentricities(
-                    graph.indptr, graph.indices, np.asarray([v], dtype=np.int64)
-                )[0]
+        for lo in range(0, level_nodes.size, chunk_size):
+            chunk = np.asarray(level_nodes[lo : lo + chunk_size], dtype=np.int64)
+            eccs = kernels.eccentricities(
+                graph.indptr, graph.indices, chunk, degrees=degrees
             )
-            lower = max(lower, ecc)
+            lower = max(lower, int(eccs.max()))
             if lower >= 2 * level:
                 break
     return lower

@@ -77,7 +77,7 @@ def multi_source_bfs(
     if source_array.size and (source_array.min() < 0 or source_array.max() >= n):
         raise IndexError("BFS source out of range")
     distances, owners, num_levels = kernels.frontier_expansion(
-        graph.indptr, graph.indices, source_array, max_depth=max_depth
+        graph.indptr, graph.indices, source_array, max_depth=max_depth, degrees=graph.degrees
     )
     return BFSResult(distances=distances, sources=owners, num_levels=num_levels)
 
@@ -100,7 +100,10 @@ def eccentricity(graph: CSRGraph, source: int) -> int:
     src = check_node_index(source, graph.num_nodes, "source")
     return int(
         kernels.eccentricities(
-            graph.indptr, graph.indices, np.asarray([src], dtype=np.int64)
+            graph.indptr,
+            graph.indices,
+            np.asarray([src], dtype=np.int64),
+            degrees=graph.degrees,
         )[0]
     )
 

@@ -8,7 +8,10 @@ decomposed):
 * per-node: cluster ``assignment``, ``center_distance`` (float64), owned by
   the underlying :class:`~repro.core.oracle.DistanceOracle`;
 * per-cluster: ``centers``, growth ``radii``, and the precomputed
-  eccentricity-bound vectors folded out of the quotient APSP matrices.
+  eccentricity-bound vectors folded out of the quotient APSP matrices (the
+  unweighted APSP runs on the bit-parallel
+  :func:`~repro.graph.kernels.msbfs_levels` sweep — 64 cluster sources per
+  ``uint64`` word — so oracle builds no longer loop one BFS per cluster).
 
 Every query method takes whole id arrays and answers with aligned result
 arrays — the hot path is index gathers and ufuncs only.  Queries served:
@@ -46,6 +49,7 @@ from repro.core.oracle import (
     default_oracle_tau,
 )
 from repro.core.pipeline import DecompositionPipeline, PipelineConfig
+from repro.graph import kernels
 from repro.graph.csr import CSRGraph
 
 __all__ = ["GraphService", "SERVICE_METHODS"]
@@ -94,6 +98,9 @@ class GraphService:
         self.tau = int(tau)
         self.seed = seed
         self.timings: Dict[str, float] = dict(timings or {})
+        #: kernel counter totals of the build (``REPRO_KERNEL_STATS=1`` builds
+        #: only; None otherwise and for snapshot-loaded services)
+        self.kernel_stats: Optional[Dict[str, int]] = None
         self._snapshot_key = snapshot_key
         clustering = oracle.clustering
         self.assignment = oracle.assignment
@@ -133,6 +140,9 @@ class GraphService:
         if tau is None:
             tau = default_oracle_tau(graph.num_nodes)
         timings: Dict[str, float] = {}
+        stats_before = (
+            kernels.kernel_stats_snapshot() if kernels.kernel_stats_enabled() else None
+        )
         if clustering is None:
             pipeline = DecompositionPipeline(
                 graph, PipelineConfig(method=method, tau=tau, seed=seed)
@@ -143,7 +153,13 @@ class GraphService:
         start = time.perf_counter()
         oracle = build_distance_oracle(graph, clustering=clustering)
         timings["oracle"] = time.perf_counter() - start
-        return cls(graph, oracle, method=method, tau=tau, seed=seed, timings=timings)
+        service = cls(graph, oracle, method=method, tau=tau, seed=seed, timings=timings)
+        if stats_before is not None:
+            after = kernels.kernel_stats_snapshot()
+            service.kernel_stats = {
+                counter: after[counter] - stats_before[counter] for counter in after
+            }
+        return service
 
     @classmethod
     def load_or_build(
@@ -269,8 +285,12 @@ class GraphService:
         return self._snapshot_key
 
     def stats(self) -> dict:
-        """Compact dict for logs and the ``serve`` CLI banner."""
-        return {
+        """Compact dict for logs and the ``serve`` CLI banner.
+
+        Builds run under ``REPRO_KERNEL_STATS=1`` include a ``kernel_stats``
+        entry with the build's frontier-kernel counter totals.
+        """
+        stats = {
             "num_nodes": self.num_nodes,
             "num_edges": self.graph.num_edges,
             "num_clusters": self.num_clusters,
@@ -280,6 +300,9 @@ class GraphService:
             "space_entries": self.space_entries,
             "snapshot_key": self.snapshot_key,
         }
+        if self.kernel_stats is not None:
+            stats["kernel_stats"] = dict(self.kernel_stats)
+        return stats
 
     def __repr__(self) -> str:
         return (
